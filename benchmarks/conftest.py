@@ -1,0 +1,15 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one of the paper's tables/figures in quick mode
+(`pytest benchmarks/ --benchmark-only`).  The benchmark time is the wall
+time to reproduce the experiment; the printed tables are the paper-shaped
+rows; the assertions are the qualitative claims ("who wins, by roughly what
+factor") that must hold for the reproduction to count.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

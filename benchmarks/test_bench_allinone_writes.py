@@ -1,0 +1,26 @@
+"""Bench: §7.8.5 all-in-one deployment and §7.8.6 write latencies."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import allinone, writes
+
+
+def test_allinone(benchmark):
+    result = run_once(benchmark, lambda: allinone.run(quick=True))
+    print()
+    print(result.render())
+    summary = result.data["summary"]
+    # All three MittOS managements co-exist: every user's tail is cut.
+    for flavor, (nonoise, base, mitt) in summary.items():
+        assert base.p(95) > nonoise.p(95), flavor
+        assert mitt.p(95) < base.p(95), flavor
+
+
+def test_writes(benchmark):
+    result = run_once(benchmark, lambda: writes.run(quick=True))
+    print()
+    print(result.render())
+    nonoise = result.data["nonoise"]
+    base = result.data["base"]
+    # Buffered writes hide device contention: Base ~= NoNoise.
+    assert abs(base.p(99) - nonoise.p(99)) < 0.5
+    assert abs(base.mean_ms - nonoise.mean_ms) < 0.2

@@ -1,0 +1,17 @@
+"""Bench: Figure 11 — macrobenchmark workload mix (§7.8.1)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig11 import run
+
+
+def test_fig11(benchmark):
+    result = run_once(benchmark, lambda: run(quick=True))
+    print()
+    print(result.render())
+    recs = result.data["recorders"]
+
+    # MittCFQ is more effective than Hedged overall under the mix.
+    assert recs["mittos"].mean_ms <= recs["hedged"].mean_ms
+    assert recs["mittos"].p(95) < recs["hedged"].p(95)
+    # The wait-hint extension never does worse than plain MittOS.
+    assert recs["mittos+hint"].p(99) <= recs["mittos"].p(99) * 1.05

@@ -1,0 +1,24 @@
+"""Bench: Figure 12 — snitching/C3 vs rotating bursts (§7.8.3)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig12 import run
+
+
+def test_fig12(benchmark):
+    result = run_once(benchmark, lambda: run(quick=True))
+    print()
+    print(result.render())
+
+    for strat in ("c3", "snitch"):
+        lines = result.data["recs"][strat]
+        # Rotating 1-second busyness is the worst case for rankings.
+        assert lines["1b2f-1s"].p(95) > lines["nobusy"].p(95), strat
+        # A 5-second rotation is slow enough to track (better than 1 s).
+        assert lines["1b2f-5s"].p(99) <= lines["1b2f-1s"].p(99), strat
+
+    # MittOS under the hostile 1 s rotation stays near the ranking
+    # strategies' *no-noise* latency.
+    mitt = result.data["mittos_1b2f_1s"]
+    c3 = result.data["recs"]["c3"]
+    assert mitt.p(95) < c3["1b2f-1s"].p(95)
+    assert mitt.p(95) < c3["nobusy"].p(95) * 1.25

@@ -1,0 +1,23 @@
+"""Bench: Figure 13 — MittOS-powered Riak + LevelDB (§7.8.4)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig13 import run
+
+
+def test_fig13(benchmark):
+    result = run_once(benchmark, lambda: run(quick=True))
+    print()
+    print(result.render())
+
+    base = result.data["base"]
+    mitt = result.data["mitt"]
+    # Two-level EBUSY propagation cuts the Riak-level tail.
+    assert mitt.p(95) < base.p(95)
+    assert mitt.p(98) < base.p(98)
+
+    # Figure 13b: EBUSY coincides with high outstanding-IO windows.
+    timeline = result.data["timeline"]
+    high = [e for _, o, e in timeline if o > 4]
+    low = [e for _, o, e in timeline if o <= 1]
+    if high and low:
+        assert sum(high) / len(high) >= sum(low) / max(1, len(low))

@@ -1,0 +1,28 @@
+"""Bench: Figure 3 — EC2 millisecond dynamism (§6)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig3 import run
+
+
+def test_fig3(benchmark):
+    result = run_once(benchmark, lambda: run(quick=True))
+    print()
+    print(result.render())
+
+    # Observation 1: tails appear near the top percentiles per resource.
+    disk = result.data["disk_merged"]
+    assert disk.p(99) > 2 * disk.p(50)          # long disk tail
+    ssd = result.data["ssd_merged"]
+    assert ssd.p(99.5) > 3 * ssd.p(50)          # SSD tail (sub-ms body)
+    cache = result.data["cache_merged"]
+    assert cache.p(99.5) > 10 * cache.p(50)     # cache-miss tail
+
+    # Observation 2: bursty inter-arrivals (gaps spread over seconds).
+    gaps = result.data["disk_interarrivals"]
+    assert max(gaps) > 20 * min(gaps)
+
+    # Observation 3: P(N busy) diminishes rapidly.
+    for resource in ("disk", "ssd", "cache"):
+        probs = result.data[f"{resource}_busy_probs"]
+        assert probs[1] > probs[2]
+        assert sum(probs[3:]) < 0.12

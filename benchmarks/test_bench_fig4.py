@@ -1,0 +1,28 @@
+"""Bench: Figure 4 — microbenchmarks, one noisy replica (§7.1)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig4 import run
+
+
+def test_fig4(benchmark):
+    result = run_once(benchmark, lambda: run(quick=True))
+    print()
+    print(result.render())
+    scenarios = result.data["scenarios"]
+
+    for label in ("a", "b", "c", "d"):
+        nonoise, base, mitt = scenarios[label]
+        # Noise hurts Base...
+        assert base.p(95) > 1.2 * nonoise.p(95), label
+        # ...and MittOS pulls the tail back toward NoNoise.
+        assert mitt.p(95) < base.p(95), label
+
+    # 4b (high-priority noise) hits Base from p0, much harder than 4a.
+    _, base_low, _ = scenarios["a"]
+    _, base_high, _ = scenarios["b"]
+    assert base_high.p(50) > base_low.p(50)
+
+    # 4d: the ~20% eviction shows up by p80 in Base; MittCache removes it.
+    _, base_cache, mitt_cache = scenarios["d"]
+    assert base_cache.p(90) > 5.0   # ms: page faults to disk
+    assert mitt_cache.p(90) < 2.0   # ms: instant failover instead

@@ -1,0 +1,24 @@
+"""Bench: Figure 5 — MittCFQ vs hedged/clone/timeout, EC2 noise (§7.2)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig5 import run
+
+
+def test_fig5(benchmark):
+    result = run_once(benchmark, lambda: run(quick=True))
+    print()
+    print(result.render())
+    recs = result.data["recorders"]
+
+    # Base has the long tail (>2x its p95 by p99).
+    assert recs["base"].p(99) > 2 * recs["base"].p(95)
+    # MittCFQ beats every wait-then-speculate technique at p95 and p99.
+    for other in ("hedged", "clone", "appto"):
+        assert recs["mittos"].p(95) <= recs[other].p(95) * 1.02, other
+        assert recs["mittos"].p(99) < recs[other].p(99), other
+    # The paper's headline: double-digit % reduction vs Hedged at p95+.
+    hedged_p95 = recs["hedged"].p(95)
+    reduction = 100 * (hedged_p95 - recs["mittos"].p(95)) / hedged_p95
+    assert reduction > 10.0
+    # AppTO pays the full timeout before retrying: worst at p95.
+    assert recs["appto"].p(95) > recs["mittos"].p(95)

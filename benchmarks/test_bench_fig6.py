@@ -1,0 +1,20 @@
+"""Bench: Figure 6 — tail amplified by scale (§7.3)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig6 import run
+
+
+def test_fig6(benchmark):
+    result = run_once(benchmark, lambda: run(quick=True))
+    print()
+    print(result.render())
+    reductions = result.data["reductions"]
+
+    # MittCFQ wins at every scale factor at p95.
+    for sf, red in reductions.items():
+        assert red["p95"] > 0, f"SF={sf}"
+    # The higher the scale factor, the larger the average reduction
+    # (paper: "the higher the scale factor, the more reduction") —
+    # compare the extremes to tolerate sampling noise in between.
+    assert reductions[10]["avg"] > reductions[1]["avg"]
+    assert reductions[5]["avg"] > reductions[1]["avg"]

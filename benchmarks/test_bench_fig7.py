@@ -1,0 +1,26 @@
+"""Bench: Figure 7 — MittCache vs Hedged under EC2 cache noise (§7.4)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig7 import run
+
+
+def test_fig7(benchmark):
+    result = run_once(benchmark, lambda: run(quick=True))
+    print()
+    print(result.render())
+    reductions = result.data["reductions"]
+    # MittCache matches or beats Hedged at the top percentile for every
+    # scale factor; at sub-millisecond latencies the network dominates
+    # and the two can be within noise of each other (the paper records
+    # a *negative* p90 reduction at SF=1 for the same reason).
+    for sf, red in reductions.items():
+        assert red["p99"] > -5.0, f"SF={sf}"
+        lines = result.data[f"lines_sf{sf}"]
+        # Base's page-fault tail reaches the disk (multi-ms); MittCache
+        # requests essentially never do.
+        slow_base = lines["base"].fraction_above(2.0)
+        slow_mitt = lines["mittos"].fraction_above(2.0)
+        assert slow_base > 3 * slow_mitt, f"SF={sf}"
+        # ...and MittCache never waits, so it is never slower than Hedged
+        # beyond noise.
+        assert lines["mittos"].p(99) <= lines["hedged"].p(99) * 1.05

@@ -1,0 +1,16 @@
+"""Bench: Figure 8 — MittSSD vs Hedged on one machine (§7.5)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig8 import run
+
+
+def test_fig8(benchmark):
+    result = run_once(benchmark, lambda: run(quick=True))
+    print()
+    print(result.render())
+    reductions = result.data["reductions"]
+    # MittSSD beats Hedged on average at every scale factor; the gap is
+    # largest at higher SF where hedge-induced CPU contention bites.
+    for sf, red in reductions.items():
+        assert red["avg"] > 0, f"SF={sf}"
+    assert reductions[5]["avg"] > reductions[1]["avg"] * 0.8

@@ -1,0 +1,31 @@
+"""Bench: Figure 9 — prediction inaccuracy on five traces (§7.6)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig9 import run
+
+
+def test_fig9(benchmark):
+    result = run_once(benchmark, lambda: run(quick=True))
+    print()
+    print(result.render())
+
+    disk_rows = result.data["disk_rows"]
+    ssd_rows = result.data["ssd_rows"]
+    assert len(disk_rows) == 5 and len(ssd_rows) == 5
+
+    # MittCFQ: low single-digit inaccuracy with the precision
+    # improvements (paper: 0.5-0.9% on real hardware).
+    for row in disk_rows:
+        name, _, fp, fn, inacc, naive, _ = row
+        assert inacc < 8.0, name
+    # The naive ablation is much worse on at least some traces
+    # (paper: "as high as 47%").
+    assert max(row[5] for row in disk_rows) > 15.0
+
+    # MittSSD: sub-~3% accurate; naive (no page pattern / channel model)
+    # worse (paper: 0.8% vs up to 6%).
+    for row in ssd_rows:
+        name, _, fp, fn, inacc, naive, diff = row
+        assert inacc < 4.0, name
+        assert naive > inacc, name
+        assert diff < 1.0  # mean misprediction < 1 ms (paper's bound)

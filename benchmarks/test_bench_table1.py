@@ -1,0 +1,18 @@
+"""Bench: Table 1 — no tail tolerance in NoSQL (§2)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.table1 import run
+
+
+def test_table1(benchmark):
+    result = run_once(benchmark, lambda: run(quick=True))
+    print()
+    print(result.render())
+    rows = result.data["rows"]
+    # Claim 1: no default timeout ever fires on 1 s bursts.
+    assert all(row[6] == 0 for row in rows)
+    # Claim 2: three systems return errors with a 100 ms timeout.
+    assert sum(1 for row in rows if row[7] > 0) == 3
+    # Claim 3: the default configs stall behind the busy replica
+    # (p99 well above a clean ~6 ms disk read).
+    assert all(row[5] > 15.0 for row in rows)

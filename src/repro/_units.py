@@ -1,0 +1,37 @@
+"""Time and size units used throughout the simulation.
+
+The simulator clock is a float counted in **microseconds**.  All durations in
+the code base are expressed by multiplying with these constants so that call
+sites read naturally (``20 * MS``, ``300 * US``).
+
+Sizes are counted in **bytes**.
+"""
+
+# --- time (simulator unit: microsecond) ---
+NS = 1e-3
+US = 1.0
+MS = 1000.0
+SEC = 1_000_000.0
+MINUTE = 60 * SEC
+HOUR = 60 * MINUTE
+
+# --- sizes (bytes) ---
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+#: OS page size used by the buffer cache and mmap accounting.
+PAGE_SIZE = 4 * KB
+
+#: NAND flash page size of the simulated OpenChannel SSD (paper: 16 KB pages).
+FLASH_PAGE_SIZE = 16 * KB
+
+
+def to_ms(t_us):
+    """Convert a simulator time (µs) to milliseconds for reporting."""
+    return t_us / MS
+
+
+def from_ms(t_ms):
+    """Convert milliseconds to simulator microseconds."""
+    return t_ms * MS

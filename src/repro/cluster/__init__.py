@@ -1,0 +1,7 @@
+"""The distributed layer: nodes, network, replication, client strategies."""
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.network import Network
+from repro.cluster.node import StorageNode
+
+__all__ = ["Cluster", "Network", "StorageNode"]

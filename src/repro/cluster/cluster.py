@@ -1,0 +1,38 @@
+"""Cluster assembly: nodes, deterministic replica placement.
+
+Data is always replicated three ways (paper §7: "every get() request has
+three choices").  Placement is hash-based over consecutive nodes so replica
+sets are deterministic and evenly spread.
+"""
+
+from repro.engines.kv import _stable_hash
+
+
+class Cluster:
+    """A set of storage nodes plus replica placement."""
+
+    def __init__(self, sim, nodes, network, replication=3, primary_fn=None):
+        if replication > len(nodes):
+            raise ValueError("replication factor exceeds cluster size")
+        self.sim = sim
+        self.nodes = list(nodes)
+        self.network = network
+        self.replication = replication
+        #: Optional override: key -> primary node index.  The §7.1
+        #: microbenchmarks direct every request to the noisy node first.
+        self.primary_fn = primary_fn
+
+    def replicas_for(self, key):
+        """The key's replica nodes, primary first."""
+        if self.primary_fn is not None:
+            start = self.primary_fn(key) % len(self.nodes)
+        else:
+            start = _stable_hash(("placement", key)) % len(self.nodes)
+        return [self.nodes[(start + i) % len(self.nodes)]
+                for i in range(self.replication)]
+
+    def node(self, node_id):
+        return self.nodes[node_id]
+
+    def __len__(self):
+        return len(self.nodes)

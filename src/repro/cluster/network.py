@@ -1,0 +1,32 @@
+"""One-hop datacenter network (§3.3).
+
+Failing over to another machine costs one extra network hop — 0.3 ms in the
+paper's testbed and EC2 (or 10 µs with Infiniband).  The network model is a
+per-message latency draw; contention-free, since the paper attributes its
+residual network tail to uncontrolled Emulab noise, which we expose as an
+optional jitter term.
+"""
+
+
+class Network:
+    """Hop-latency source for client<->node messaging."""
+
+    def __init__(self, sim, hop_us=300.0, jitter_us=15.0,
+                 tail_prob=0.0, tail_extra_us=0.0):
+        self.sim = sim
+        self.hop_us = hop_us
+        self.jitter_us = jitter_us
+        #: Optional heavy-tail component (the paper's ~0.08% Emulab tail).
+        self.tail_prob = tail_prob
+        self.tail_extra_us = tail_extra_us
+        self._rng = sim.rng("network")
+
+    def hop_latency(self):
+        latency = max(1.0, self._rng.gauss(self.hop_us, self.jitter_us))
+        if self.tail_prob and self._rng.random() < self.tail_prob:
+            latency += self._rng.uniform(0, self.tail_extra_us)
+        return latency
+
+    def hop(self):
+        """An event completing after one network hop."""
+        return self.sim.timeout(self.hop_latency())

@@ -1,0 +1,104 @@
+"""A storage node: OS + engine + request handlers + optional CPU model.
+
+The node is where server-side costs live: request-handler CPU time (bounded
+by hardware threads — the effect behind §7.5's hedge-induced CPU contention)
+and the exceptionless retry path (§5: C++ exception handling adds 200 µs;
+the paper built a direct retry path instead, which is what EBUSY results
+model here — no exception cost).
+"""
+
+from repro.errors import EBUSY
+from repro.sim.resources import Semaphore
+
+
+class StorageNode:
+    """One machine running a data-store process over the simulated OS."""
+
+    def __init__(self, sim, node_id, os, engine, cpu_slots=None,
+                 handler_cpu_us=60.0):
+        self.sim = sim
+        self.node_id = node_id
+        self.os = os
+        self.engine = engine
+        #: None = uncontended CPU; else hardware-thread semaphore (§7.5).
+        self.cpu = Semaphore(sim, cpu_slots) if cpu_slots else None
+        self.handler_cpu_us = handler_cpu_us
+        self.handled = 0
+        self.ebusy_sent = 0
+        self._tied_listener_installed = False
+
+    def get(self, key, deadline=None, io_observer=None):
+        """Server-side get as a process event: value is EBUSY or a record."""
+        return self.sim.process(self._handle_get(key, deadline, io_observer))
+
+    def get_cancellable(self, key, deadline=None):
+        """(event, cancel_fn, began_event) for tied requests (§7.8.2).
+
+        ``began_event`` fires when this get's IO begins execution (is
+        dispatched into the device); ``cancel_fn()`` revokes the IO while it
+        is still queued.  The paper could not build this on Linux because
+        the device queue is invisible to the OS; the simulator can, so tied
+        requests serve as an upper-bound comparator.
+        """
+        began = self.sim.event()
+        state = {"reqs": [], "cancelled": False}
+
+        def io_observer(req):
+            state["reqs"].append(req)
+            if state["cancelled"] and req.dispatch_time is None:
+                self.os.scheduler.cancel(req)
+                return
+            req.tag["tied_began"] = began
+            # Begin-execution signal: fires at dispatch via the scheduler.
+
+        self._install_tied_listener()
+
+        def cancel():
+            state["cancelled"] = True
+            for req in state["reqs"]:
+                if req.dispatch_time is None and not req.cancelled:
+                    self.os.scheduler.cancel(req)
+
+        ev = self.sim.process(self._handle_get(key, deadline, io_observer))
+        # A cache hit / memtable hit never dispatches an IO; treat the
+        # reply itself as begin-execution then.
+        ev.add_callback(lambda _: began.try_succeed(self.node_id))
+        return ev, cancel, began
+
+    def _install_tied_listener(self):
+        """One shared dispatch listener fires every tied begin signal."""
+        if self._tied_listener_installed:
+            return
+        self._tied_listener_installed = True
+
+        def on_dispatch(req):
+            ev = req.tag.get("tied_began")
+            if ev is not None:
+                ev.try_succeed(self.node_id)
+
+        self.os.scheduler.add_dispatch_listener(on_dispatch)
+
+    def put(self, key):
+        """Server-side put (buffered write path, §7.8.6)."""
+        return self.sim.process(self._handle_put(key))
+
+    def _handle_put(self, key):
+        self.handled += 1
+        yield self.handler_cpu_us
+        result = yield self.sim.process(self.engine.put(key))
+        return result
+
+    def _handle_get(self, key, deadline, io_observer=None):
+        self.handled += 1
+        if self.cpu is not None:
+            yield self.cpu.acquire()
+        yield self.handler_cpu_us
+        try:
+            result = yield self.sim.process(
+                self.engine.get(key, deadline, io_observer=io_observer))
+        finally:
+            if self.cpu is not None:
+                self.cpu.release()
+        if result is EBUSY:
+            self.ebusy_sent += 1
+        return result

@@ -1,0 +1,99 @@
+"""Strategy machinery + the vanilla and timeout-retry strategies."""
+
+from repro.errors import EBUSY, EIO
+
+
+class Strategy:
+    """Base class: a client-side policy for one get() across replicas.
+
+    ``get(key)`` returns a process event whose value is the final result
+    (a record, ``EIO`` when every choice failed, or — never for well-formed
+    strategies — ``EBUSY``).  Subclasses implement ``_run(key, replicas)``.
+    """
+
+    name = "strategy"
+
+    def __init__(self, cluster):
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.network = cluster.network
+        self.retries = 0
+        self.duplicates = 0
+
+    def get(self, key):
+        replicas = self.cluster.replicas_for(key)
+        return self.sim.process(self._run(key, replicas))
+
+    def _run(self, key, replicas):
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    # -- helpers ---------------------------------------------------------
+    def _attempt(self, node, key, deadline=None):
+        """One request/response round-trip to a node, as a process event."""
+        return self.sim.process(self._attempt_gen(node, key, deadline))
+
+    def _attempt_gen(self, node, key, deadline):
+        yield self.network.hop()
+        result = yield node.get(key, deadline)
+        yield self.network.hop()
+        return result
+
+    def _race(self, event, timeout_us):
+        """Wait for ``event`` or a timeout; returns (finished, value)."""
+        timer = self.sim.timeout(timeout_us, EIO)
+        idx, value = yield self.sim.any_of([event, timer])
+        return idx == 0, (value if idx == 0 else None)
+
+
+class BaseStrategy(Strategy):
+    """Vanilla store: one replica, coarse timeout, no failover (Table 1).
+
+    With the default 30 s timeout an IO can stall behind a busy disk for as
+    long as the contention lasts; on timeout the *user* gets a read error
+    even though less-busy replicas exist — the behaviour the paper observed
+    in three of six NoSQL systems.
+    """
+
+    name = "base"
+
+    def __init__(self, cluster, timeout_us=30_000_000.0):
+        super().__init__(cluster)
+        self.timeout_us = timeout_us
+        self.timeouts = 0
+
+    def _run(self, key, replicas):
+        attempt = self._attempt(replicas[0], key)
+        finished, value = yield from self._race(attempt, self.timeout_us)
+        if not finished:
+            self.timeouts += 1
+            return EIO
+        return value
+
+
+class AppToStrategy(Strategy):
+    """Application timeout with failover (§7.2's "AppTO").
+
+    Wait ``timeout_us`` (the p95 deadline), cancel the try, move to the next
+    replica; the third try runs without a timeout so users never see IO
+    errors while a replica can still answer.
+    """
+
+    name = "appto"
+
+    def __init__(self, cluster, timeout_us):
+        super().__init__(cluster)
+        self.timeout_us = timeout_us
+
+    def _run(self, key, replicas):
+        for i, node in enumerate(replicas):
+            last = i == len(replicas) - 1
+            attempt = self._attempt(node, key)
+            if last:
+                result = yield attempt
+                return result
+            finished, value = yield from self._race(attempt, self.timeout_us)
+            if finished:
+                return value
+            self.retries += 1  # timed out; abandon and go to next replica
+        return EIO

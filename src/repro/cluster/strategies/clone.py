@@ -1,0 +1,26 @@
+"""Cloning: duplicate every request, take the first response (§7.2).
+
+Proactive speculation: effective above ~p95 because the faster of two
+samples wins, but it doubles the IO intensity, self-inflicting noise that
+makes the *common* case worse than Base (paper: "below p93 to p0, cloning
+is worse").
+"""
+
+from repro.cluster.strategies.base import Strategy
+
+
+class CloneStrategy(Strategy):
+    """Send to two random replicas (of three); first response wins."""
+
+    name = "clone"
+
+    def __init__(self, cluster):
+        super().__init__(cluster)
+        self._rng = cluster.sim.rng("strategy/clone")
+
+    def _run(self, key, replicas):
+        pair = self._rng.sample(replicas, 2)
+        self.duplicates += 1
+        attempts = [self._attempt(node, key) for node in pair]
+        _, value = yield self.sim.any_of(attempts)
+        return value

@@ -1,0 +1,32 @@
+"""Hedged requests (§7.2, after Dean & Barroso's "The Tail at Scale").
+
+A secondary request is sent only after the first has been outstanding
+longer than the expected p95 latency, limiting extra load to ~5% — but the
+slow 5% must *wait out* the hedge delay before help starts, which is the
+waiting MittOS eliminates.
+"""
+
+from repro.cluster.strategies.base import Strategy
+
+
+class HedgedStrategy(Strategy):
+    """Wait p95, then duplicate to another replica; first response wins."""
+
+    name = "hedged"
+
+    def __init__(self, cluster, hedge_delay_us):
+        super().__init__(cluster)
+        self.hedge_delay_us = hedge_delay_us
+        self._rng = cluster.sim.rng("strategy/hedged")
+
+    def _run(self, key, replicas):
+        first = self._attempt(replicas[0], key)
+        finished, value = yield from self._race(first, self.hedge_delay_us)
+        if finished:
+            return value
+        # Hedge fires: duplicate to one of the other replicas (the first
+        # try is NOT cancelled; both keep running).
+        self.duplicates += 1
+        second = self._attempt(self._rng.choice(replicas[1:]), key)
+        _, value = yield self.sim.any_of([first, second])
+        return value

@@ -1,0 +1,79 @@
+"""The MittOS client strategy: instant EBUSY failover (§5).
+
+The application attaches the user's deadline to each get(); a busy node
+answers EBUSY in microseconds instead of queueing the IO, and the client
+retries the next replica immediately — sequential, exceptionless, simple.
+The third try disables the deadline (P(all three busy) is tiny, §6), so
+users never see IO errors.  The optional wait-time extension (§7.8.1/§8.1)
+uses EBUSY responses' predicted wait to route the final try to the
+least-busy replica instead of the fixed third one.
+"""
+
+from repro.cluster.strategies.base import Strategy
+from repro.errors import EBUSY
+
+
+class MittosStrategy(Strategy):
+    """Sequential EBUSY-driven failover across the three replicas."""
+
+    name = "mittos"
+
+    def __init__(self, cluster, deadline_us, use_wait_hint=False,
+                 controller=None):
+        super().__init__(cluster)
+        self.deadline_us = deadline_us
+        #: §8.1 extension: have EBUSY carry the predicted wait and use it.
+        self.use_wait_hint = use_wait_hint
+        #: §8.1 extension: a DeadlineController that auto-tunes the
+        #: deadline from the EBUSY rate (overrides ``deadline_us``).
+        self.controller = controller
+        self.failovers = 0
+        self.all_busy = 0
+
+    @property
+    def effective_deadline_us(self):
+        if self.controller is not None:
+            return self.controller.deadline_us
+        return self.deadline_us
+
+    def _run(self, key, replicas):
+        deadline = self.effective_deadline_us
+        waits = []
+        got_ebusy = False
+        for node in replicas[:-1]:
+            result = yield self._attempt(node, key, deadline)
+            if result is not EBUSY:
+                if self.controller is not None:
+                    self.controller.record(got_ebusy)
+                return result
+            got_ebusy = True
+            self.failovers += 1
+            waits.append(self._ebusy_wait_hint(node))
+        if self.controller is not None:
+            self.controller.record(True)
+
+        if self.use_wait_hint:
+            # All earlier replicas said busy: ask the last one too, then
+            # fall back to whichever predicted the shortest wait.
+            last = replicas[-1]
+            result = yield self._attempt(last, key, deadline)
+            if result is not EBUSY:
+                return result
+            self.failovers += 1
+            waits.append(self._ebusy_wait_hint(last))
+            self.all_busy += 1
+            best = min(range(len(replicas)), key=lambda i: waits[i])
+            result = yield self._attempt(replicas[best], key, None)
+            return result
+
+        # Default: the last try disables the deadline — never an IO error.
+        self.all_busy += 1
+        result = yield self._attempt(replicas[-1], key, None)
+        return result
+
+    def _ebusy_wait_hint(self, node):
+        """Predicted wait at the rejecting node (richer-response extension)."""
+        predictor = node.os.predictor
+        if predictor is None:
+            return float("inf")
+        return getattr(predictor, "last_rejected_wait", float("inf"))

@@ -1,0 +1,58 @@
+"""Tied requests (§7.8.2) — the comparator the paper could not build.
+
+Each request is cloned to a second replica after a small delay; both copies
+carry the identity of the other, and when one *begins execution* the other
+is cancelled.  On Linux the paper found this impossible for block IO: the
+device absorbs requests immediately, the begin-execution moment is
+invisible, and there is no revocation path.  Our simulator can see device
+dispatch, so this implementation is an **upper bound** on what tied
+requests could achieve with perfect OS support (noted in EXPERIMENTS.md).
+"""
+
+from repro.cluster.strategies.base import Strategy
+from repro.errors import EBUSY, EIO
+
+
+class TiedStrategy(Strategy):
+    """Delayed clone + cancel-on-begin-execution."""
+
+    name = "tied"
+
+    def __init__(self, cluster, tie_delay_us=1000.0):
+        super().__init__(cluster)
+        self.tie_delay_us = tie_delay_us
+        self._rng = cluster.sim.rng("strategy/tied")
+        self.cancellations = 0
+
+    def _run(self, key, replicas):
+        node_a = replicas[0]
+        node_b = self._rng.choice(replicas[1:])
+
+        ev_a, cancel_a, began_a = node_a.get_cancellable(key)
+        finished, value = yield from self._race(ev_a, self.tie_delay_us)
+        if finished:
+            return value
+
+        self.duplicates += 1
+        ev_b, cancel_b, began_b = node_b.get_cancellable(key)
+        # Whichever copy begins execution first cancels its counterpart.
+        idx, _ = yield self.sim.any_of([began_a, began_b])
+        self.cancellations += 1
+        if idx == 0:
+            cancel_b()
+        else:
+            cancel_a()
+
+        # Take the first non-cancelled reply (a cancelled copy reports
+        # EBUSY through the normal completion path).
+        result = yield from self._first_real([ev_a, ev_b])
+        return result
+
+    def _first_real(self, events):
+        pending = list(events)
+        while pending:
+            idx, value = yield self.sim.any_of(pending)
+            if value is not EBUSY:
+                return value
+            pending.pop(idx)
+        return EIO

@@ -1,0 +1,124 @@
+"""Shingled-magnetic-recording (SMR) drive model (§8.2).
+
+The paper argues MittOS "can be applied naturally" to SMR drives: like SSD
+garbage collection, SMR band cleaning — merging the persistent media cache
+back into shingled bands — induces long tail latencies on SMR-backed
+key-value stores.  With host-aware/host-managed SMR (ZBC), cleaning is
+visible to (or driven by) the host, which is exactly the white-box
+knowledge a MittSMR predictor needs.
+
+The model extends the rotating-disk mechanics:
+
+* random writes land in a persistent disk cache region (fast),
+* when the cache exceeds a threshold, the drive cleans one band: read the
+  band + merge + sequential rewrite — an exclusive busy period of hundreds
+  of milliseconds,
+* reads stall behind an in-progress cleaning, producing the tail.
+
+Cleaning events are announced to observers so a predictor can keep a
+cleaning-aware horizon (:class:`repro.mittos.mittsmr.MittSmr`).
+"""
+
+from repro._units import GB, MB, MS
+from repro.devices.disk import Disk, DiskParams
+from repro.devices.request import IoOp
+
+
+class SmrParams(DiskParams):
+    """Disk parameters plus SMR band/cache geometry."""
+
+    def __init__(self, band_bytes=256 * MB,
+                 persistent_cache_bytes=1 * GB,
+                 clean_trigger_fraction=0.8,
+                 clean_stop_fraction=0.5,
+                 band_clean_time_us=400 * MS, **disk_kwargs):
+        super().__init__(**disk_kwargs)
+        self.band_bytes = band_bytes
+        self.persistent_cache_bytes = persistent_cache_bytes
+        #: Cleaning starts above this cache fill fraction...
+        self.clean_trigger_fraction = clean_trigger_fraction
+        #: ...and stops once the fill drops below this one.
+        self.clean_stop_fraction = clean_stop_fraction
+        #: Read band + merge + sequential rewrite, per band.
+        self.band_clean_time_us = band_clean_time_us
+
+
+class SmrDisk(Disk):
+    """A drive-managed-style SMR disk with observable band cleaning."""
+
+    def __init__(self, sim, params=None, name="smr"):
+        super().__init__(sim, params or SmrParams(), name=name)
+        self._cache_bytes = 0
+        self._cleaning = False
+        self._clean_observers = []
+        self.bands_cleaned = 0
+
+    # -- host visibility (ZBC-style) -------------------------------------
+    def add_clean_observer(self, fn):
+        """``fn(kind, busy_until_us)``; kind is "start" or "stop"."""
+        self._clean_observers.append(fn)
+
+    @property
+    def cleaning(self):
+        return self._cleaning
+
+    @property
+    def cache_fill_fraction(self):
+        return self._cache_bytes / self.params.persistent_cache_bytes
+
+    # -- write-path cache accounting ------------------------------------------
+    def _complete(self, req):
+        if req.op is IoOp.WRITE and not req.tag.get("smr_internal"):
+            self._cache_bytes = min(
+                self.params.persistent_cache_bytes,
+                self._cache_bytes + req.size)
+        super()._complete(req)
+        self._maybe_start_cleaning()
+
+    def _maybe_start_cleaning(self):
+        p = self.params
+        if self._cleaning:
+            return
+        if self._cache_bytes < (p.clean_trigger_fraction
+                                * p.persistent_cache_bytes):
+            return
+        self._cleaning = True
+        self._clean_next_band()
+
+    def _clean_next_band(self):
+        """Clean one band as an exclusive spindle busy period."""
+        p = self.params
+        busy_until = self.sim.now + p.band_clean_time_us
+        for fn in self._clean_observers:
+            fn("start", busy_until)
+        # Cleaning monopolizes the actuator: model it by pushing the
+        # service loop out by the cleaning time.
+        self.sim.schedule(p.band_clean_time_us, self._band_cleaned)
+
+    def _band_cleaned(self):
+        p = self.params
+        self.bands_cleaned += 1
+        self._cache_bytes = max(0, self._cache_bytes - p.band_bytes)
+        if self._cache_bytes > (p.clean_stop_fraction
+                                * p.persistent_cache_bytes):
+            self._clean_next_band()
+            return
+        self._cleaning = False
+        for fn in self._clean_observers:
+            fn("stop", self.sim.now)
+        self._start_next()
+
+    # -- service: cleaning blocks everything --------------------------------
+    def _start_next(self):
+        if self._cleaning:
+            return  # the actuator is busy shingling; IOs wait
+        super()._start_next()
+
+    def _true_service_time(self, req):
+        # Random writes into the persistent cache are cheap (short seeks
+        # into the cache region) — SMR's selling point until cleaning hits.
+        t = super()._true_service_time(req)
+        if req.op is IoOp.WRITE:
+            t = min(t, self.params.seek_base_us
+                    + self.params.transfer_per_kb_us * (req.size / 1024))
+        return t

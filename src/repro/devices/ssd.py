@@ -1,0 +1,328 @@
+"""OpenChannel-style SSD model (§4.3).
+
+The SSD exposes its internal geometry — channels, chips, blocks, pages — to
+the host, the way LightNVM/OpenChannel devices do, which is what makes
+MittSSD's per-chip bookkeeping possible.  Timing constants follow the paper:
+
+* 16 KB page read: 100 µs (chip read + channel transfer),
+* channel queueing delay: 60 µs per outstanding IO on the same channel,
+* page program: 1 ms (lower page) or 2 ms (upper page), in the per-block
+  pattern ``11111121121122...2112`` (512 pages/block),
+* block erase: 6 ms.
+
+Each chip services its operation queue FIFO; requests larger than one page
+are chopped into page sub-IOs striped across chips.  The host-side FTL lives
+here too (page-level mapping, round-robin allocation, greedy GC) because on
+OpenChannel devices the host owns the FTL.
+"""
+
+from repro._units import FLASH_PAGE_SIZE, MS
+from repro.devices.request import IoOp
+
+
+def program_pattern(pages_per_block=512, lower_us=1 * MS, upper_us=2 * MS):
+    """Per-page program times for one block, after the paper's profile.
+
+    The paper reports the profiled pattern "11111121121122...2112": seven
+    leading pages of mostly-lower programming, a repeating lower/upper body,
+    and a 2112 tail — identical for every block, so a single array suffices.
+    """
+    head = [1, 1, 1, 1, 1, 1, 2, 1, 1, 2]
+    tail = [2, 1, 1, 2]
+    body_unit = [1, 1, 2, 2]
+    pattern = list(head)
+    while len(pattern) < pages_per_block - len(tail):
+        pattern.extend(body_unit)
+    pattern = pattern[:pages_per_block - len(tail)] + tail
+    return [lower_us if x == 1 else upper_us for x in pattern]
+
+
+class SsdGeometry:
+    """Geometry and timing constants of the simulated device."""
+
+    def __init__(self, n_channels=16, chips_per_channel=8, blocks_per_chip=64,
+                 pages_per_block=512, page_size=FLASH_PAGE_SIZE,
+                 page_read_us=100.0, channel_xfer_us=60.0, erase_us=6 * MS,
+                 jitter_frac=0.01, gc_free_block_threshold=2):
+        self.n_channels = n_channels
+        self.chips_per_channel = chips_per_channel
+        self.blocks_per_chip = blocks_per_chip
+        self.pages_per_block = pages_per_block
+        self.page_size = page_size
+        self.page_read_us = page_read_us
+        self.channel_xfer_us = channel_xfer_us
+        self.erase_us = erase_us
+        self.jitter_frac = jitter_frac
+        self.gc_free_block_threshold = gc_free_block_threshold
+        #: Wear-leveling kicks in when a chip's erase-count spread exceeds
+        #: this (§4.3: "occasional wear-leveling page movements will
+        #: introduce a significant noise").  None disables it.
+        self.wear_spread_threshold = 8
+        self.program_us = program_pattern(pages_per_block)
+
+    @property
+    def n_chips(self):
+        return self.n_channels * self.chips_per_channel
+
+    def chip_channel(self, chip_index):
+        return chip_index // self.chips_per_channel
+
+    def capacity_bytes(self):
+        return (self.n_chips * self.blocks_per_chip * self.pages_per_block
+                * self.page_size)
+
+
+class _Chip:
+    """One NAND chip: FIFO op queue plus block allocation state."""
+
+    __slots__ = ("index", "channel", "next_free", "active_block",
+                 "next_page", "free_blocks", "valid_count", "erased",
+                 "erase_counts")
+
+    def __init__(self, index, channel, geometry):
+        self.index = index
+        self.channel = channel
+        self.next_free = 0.0
+        self.free_blocks = list(range(geometry.blocks_per_chip))
+        self.active_block = self.free_blocks.pop(0)
+        self.next_page = 0
+        #: valid page count per block (for greedy GC victim selection).
+        self.valid_count = [0] * geometry.blocks_per_chip
+        self.erased = 0
+        #: per-block erase counts (wear; drives wear-leveling moves).
+        self.erase_counts = [0] * geometry.blocks_per_chip
+
+    def wear_spread(self):
+        return max(self.erase_counts) - min(self.erase_counts)
+
+
+class Ssd:
+    """The SSD device: accepts block requests, runs them on chips."""
+
+    def __init__(self, sim, geometry=None, name="ssd"):
+        self.sim = sim
+        self.geometry = geometry or SsdGeometry()
+        self.name = name
+        self._rng = sim.rng(f"ssd/{name}")
+        geo = self.geometry
+        self._chips = [_Chip(i, geo.chip_channel(i), geo)
+                       for i in range(geo.n_chips)]
+        #: Outstanding IOs per channel (ground truth for the 60 µs delay).
+        self._channel_outstanding = [0] * geo.n_channels
+        #: Channel transfer timelines (transfers serialize per channel).
+        self._channel_next_free = [0.0] * geo.n_channels
+        #: Page-level FTL map: logical page number -> (chip, block, page).
+        self._ftl = {}
+        self._write_chip_rr = 0
+        self._drain_callbacks = []
+        #: Host-side command observers (LightNVM: the host issues every chip
+        #: command and receives per-command completions, so MittSSD can keep
+        #: its own chip timelines without peeking at device internals).
+        self._op_observers = []
+        self.completed = 0
+        self.gc_runs = 0
+        self.wear_level_runs = 0
+
+    # -- scheduler-facing API (mirrors Disk) -------------------------------
+    def has_room(self):
+        return True  # the SSD parallelizes internally; chips queue FIFO
+
+    def add_drain_callback(self, fn):
+        self._drain_callbacks.append(fn)
+
+    @property
+    def in_device(self):
+        return sum(self._channel_outstanding)
+
+    def chip_next_free(self, chip_index):
+        """Chip busy horizon — what MittSSD tracks (§4.3)."""
+        return self._chips[chip_index].next_free
+
+    def channel_outstanding(self, channel):
+        return self._channel_outstanding[channel]
+
+    # -- address mapping ------------------------------------------------------
+    def pages_of(self, offset, size):
+        """Logical flash pages covered by a byte range."""
+        first = offset // self.geometry.page_size
+        last = (offset + size - 1) // self.geometry.page_size
+        return list(range(first, last + 1))
+
+    def read_chip_of(self, lpn):
+        """Chip a logical page lives on (striped if never written)."""
+        mapped = self._ftl.get(lpn)
+        if mapped is not None:
+            return mapped[0]
+        return lpn % self.geometry.n_chips
+
+    def predict_write_placement(self, n_pages):
+        """(chip_index, program_us) for the next ``n_pages`` allocations.
+
+        Pure FTL bookkeeping (no mutation): on host-managed flash the OS
+        *is* the FTL, so MittSSD legitimately knows which chip and which
+        block page index — hence which 1 ms/2 ms program time — each
+        upcoming page write will get (§4.3's upper/lower page accuracy).
+        """
+        geo = self.geometry
+        rr = self._write_chip_rr
+        simulated_next = {}
+        out = []
+        for _ in range(n_pages):
+            chip = self._chips[rr]
+            rr = (rr + 1) % len(self._chips)
+            page = simulated_next.get(chip.index, chip.next_page)
+            if page >= geo.pages_per_block:
+                page = 0  # a fresh block starts at page 0
+            out.append((chip.index, geo.program_us[page]))
+            simulated_next[chip.index] = page + 1
+        return out
+
+    # -- request execution ----------------------------------------------------
+    def submit(self, req):
+        """Run ``req`` as page sub-IOs; finish when all sub-IOs complete."""
+        req.dispatch_time = self.sim.now
+        lpns = self.pages_of(req.offset, req.size)
+        remaining = len(lpns)
+        done = {"n": remaining}
+
+        def sub_done():
+            done["n"] -= 1
+            if done["n"] == 0:
+                self.completed += 1
+                req.finish(self.sim.now)
+                for fn in self._drain_callbacks:
+                    fn()
+
+        for lpn in lpns:
+            if req.op is IoOp.READ:
+                self._read_page(lpn, sub_done)
+            else:
+                self._program_page(lpn, sub_done)
+
+    def _read_page(self, lpn, callback):
+        chip = self._chips[self.read_chip_of(lpn)]
+        self._run_chip_op(chip, self.geometry.page_read_us, callback,
+                          op_kind="read")
+
+    def _program_page(self, lpn, callback):
+        chip = self._chips[self._write_chip_rr]
+        self._write_chip_rr = (self._write_chip_rr + 1) % len(self._chips)
+        self._allocate_and_program(chip, lpn, callback)
+
+    def _allocate_and_program(self, chip, lpn, callback):
+        geo = self.geometry
+        old = self._ftl.get(lpn)
+        if old is not None:
+            old_chip, old_block, _ = old
+            self._chips[old_chip].valid_count[old_block] -= 1
+        page = chip.next_page
+        block = chip.active_block
+        self._ftl[lpn] = (chip.index, block, page)
+        chip.valid_count[block] += 1
+        chip.next_page += 1
+        if chip.next_page >= geo.pages_per_block:
+            self._advance_active_block(chip)
+        self._run_chip_op(chip, geo.program_us[page], callback,
+                          op_kind="program")
+
+    def _advance_active_block(self, chip):
+        if not chip.free_blocks:
+            self._garbage_collect(chip)
+        chip.active_block = chip.free_blocks.pop(0)
+        chip.next_page = 0
+        if len(chip.free_blocks) < self.geometry.gc_free_block_threshold:
+            self._garbage_collect(chip)
+
+    def _garbage_collect(self, chip):
+        """Greedy GC: erase the block with the fewest valid pages.
+
+        Valid pages are migrated (read + program on the same chip), then the
+        block is erased — 6 ms of chip busyness that reads behind it observe
+        as the classic SSD tail (§4.3).
+        """
+        geo = self.geometry
+        candidates = [b for b in range(geo.blocks_per_chip)
+                      if b != chip.active_block and b not in chip.free_blocks]
+        if not candidates:
+            raise RuntimeError("SSD chip has no GC victim (overfilled)")
+        victim = min(candidates, key=lambda b: chip.valid_count[b])
+        moves = chip.valid_count[victim]
+        busy = moves * (geo.page_read_us + geo.program_us[0]) + geo.erase_us
+        # GC occupies the chip as one opaque busy period.
+        self._run_chip_op(chip, busy, lambda: None, op_kind="gc")
+        # Remap migrated pages onto the active block (bookkeeping only).
+        chip.valid_count[chip.active_block] += moves
+        chip.valid_count[victim] = 0
+        chip.free_blocks.append(victim)
+        chip.erased += 1
+        chip.erase_counts[victim] += 1
+        self.gc_runs += 1
+        self._maybe_wear_level(chip)
+
+    def _maybe_wear_level(self, chip):
+        """Relocate a cold (least-erased) block when wear skews (§4.3)."""
+        threshold = self.geometry.wear_spread_threshold
+        if threshold is None or chip.wear_spread() <= threshold:
+            return
+        geo = self.geometry
+        cold = min(range(geo.blocks_per_chip),
+                   key=lambda b: chip.erase_counts[b])
+        moves = chip.valid_count[cold]
+        busy = moves * (geo.page_read_us + geo.program_us[0]) + geo.erase_us
+        self._run_chip_op(chip, busy, lambda: None, op_kind="gc")
+        chip.erase_counts[cold] += 1
+        self.wear_level_runs += 1
+
+    def erase_block(self, chip_index):
+        """Explicit erase (used by tests and the noise injector)."""
+        chip = self._chips[chip_index]
+        self._run_chip_op(chip, self.geometry.erase_us, lambda: None,
+                          op_kind="erase")
+
+    # -- chip/channel timing --------------------------------------------------
+    def add_op_observer(self, fn):
+        """``fn(kind, chip_index, model_duration_us, op_kind)`` per command.
+
+        ``kind`` is "enqueue" (command issued; duration is the spec-model
+        time, pre-jitter) or "complete" (chip finished the command);
+        ``op_kind`` names the command: read/program/erase/gc.
+        """
+        self._op_observers.append(fn)
+
+    def _run_chip_op(self, chip, duration, callback, op_kind="read"):
+        # The chip does the cell work, then the result crosses the shared
+        # channel; transfers serialize per channel (60 µs each), which is
+        # the queueing delay MittSSD's "#IO on same channel" term predicts.
+        # ``duration`` is the spec end-to-end op time (100 µs read, 1/2 ms
+        # program, 6 ms erase).  The channel is held only for the 60 µs
+        # data transfer: after the cell read (reads), before the cell
+        # program (writes), never for erases/GC — so a parked chip does
+        # not block its channel-mates.
+        geo = self.geometry
+        now = self.sim.now
+        jitter = max(0.5, self._rng.gauss(1.0, geo.jitter_frac))
+        channel = chip.channel
+        xfer = geo.channel_xfer_us
+        cell_time = max(0.0, duration - xfer) * jitter
+        if op_kind == "read":
+            chip_ready = max(chip.next_free, now) + cell_time
+            xfer_start = max(chip_ready, self._channel_next_free[channel])
+            finish = xfer_start + xfer
+            self._channel_next_free[channel] = finish
+        elif op_kind == "program":
+            xfer_start = max(now, self._channel_next_free[channel])
+            self._channel_next_free[channel] = xfer_start + xfer
+            finish = max(chip.next_free, xfer_start + xfer) + cell_time
+        else:  # erase / gc: chip-only busy period, no data transfer
+            finish = max(chip.next_free, now) + duration * jitter
+        chip.next_free = finish
+        self._channel_outstanding[channel] += 1
+        for fn in self._op_observers:
+            fn("enqueue", chip.index, duration, op_kind)
+        self.sim.schedule_at(finish, self._chip_op_done, chip, callback)
+
+    def _chip_op_done(self, chip, callback):
+        self._channel_outstanding[chip.channel] -= 1
+        for fn in self._op_observers:
+            fn("complete", chip.index, 0.0, "done")
+        callback()

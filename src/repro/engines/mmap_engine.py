@@ -1,0 +1,89 @@
+"""MongoDB-like engine: mmap-ed data file with SLO-aware access (§5).
+
+MongoDB (MMAPv1 era) maps its database files into the heap and dereferences
+pointers; a non-resident page stalls on a page fault with no syscall to
+return EBUSY from.  The paper's practical fix is ``addrcheck()``: a quick
+page-table walk *before* the dereference.  This engine supports both access
+paths the paper built:
+
+* ``use_addrcheck=True`` — check residency/deadline first (the 50-LOC
+  MongoDB integration), then read without a deadline;
+* ``use_addrcheck=False`` — the read-based method (the extra 40 LOC), where
+  ``read(..., deadline)`` itself may return EBUSY.
+
+Either way the engine returns ``EBUSY`` (no exception: the paper's
+"exceptionless retry path") or a :class:`GetRecord`.
+"""
+
+from repro.errors import EBUSY
+
+
+class GetRecord:
+    """Successful engine read: where the data came from and how long it took."""
+
+    __slots__ = ("key", "cache_hit", "engine_latency")
+
+    def __init__(self, key, cache_hit, engine_latency):
+        self.key = key
+        self.cache_hit = cache_hit
+        self.engine_latency = engine_latency
+
+
+class MMapEngine:
+    """Single-node KV reads over a (simulated) mmap-ed data file."""
+
+    def __init__(self, os, keyspace, file_id=0, pid=100, use_addrcheck=None):
+        self.os = os
+        self.keyspace = keyspace
+        self.file_id = file_id
+        #: MongoDB is one process: all its IOs share a CFQ node.
+        self.pid = pid
+        if use_addrcheck is None:
+            use_addrcheck = os.cache is not None
+        if use_addrcheck and os.cache is None:
+            raise ValueError("addrcheck path requires a page cache")
+        self.use_addrcheck = use_addrcheck
+        self.gets = 0
+        self.ebusy = 0
+
+    def get(self, key, deadline=None, io_observer=None):
+        """Generator (run as a process): yields EBUSY or GetRecord."""
+        return self._get(key, deadline, io_observer)
+
+    def _get(self, key, deadline, io_observer):
+        self.gets += 1
+        start = self.os.sim.now
+        offset, size = self.keyspace.locate(key)
+
+        if self.use_addrcheck and deadline is not None:
+            yield self.os.params.addrcheck_us
+            verdict = self.os.addrcheck(self.file_id, offset, size, deadline)
+            if verdict is EBUSY:
+                self.ebusy += 1
+                return EBUSY
+            # Admitted: dereference/read without re-checking the deadline.
+            deadline = None
+
+        result = yield self.os.read(self.file_id, offset, size, pid=self.pid,
+                                    deadline=deadline,
+                                    io_observer=io_observer)
+        if result is EBUSY:
+            self.ebusy += 1
+            return EBUSY
+        return GetRecord(key, result.cache_hit, self.os.sim.now - start)
+
+    def put(self, key, io_observer=None):
+        """Generator: buffered write of one record (§7.8.6 semantics)."""
+        offset, size = self.keyspace.locate(key)
+        yield self.os.write(self.file_id, offset, size, pid=self.pid)
+        if self.os.cache is not None:
+            self.os.cache.insert(self.file_id, offset, size)
+        return True
+
+    def preload(self, keys):
+        """Warm the page cache with these keys' pages (experiment setup)."""
+        if self.os.cache is None:
+            raise RuntimeError("preload requires a page cache")
+        for key in keys:
+            offset, size = self.keyspace.locate(key)
+            self.os.cache.insert(self.file_id, offset, size)

@@ -1,0 +1,42 @@
+"""Error codes and exceptions shared across the stack.
+
+The paper's central mechanism is the kernel returning ``EBUSY`` from
+``read(..., slo)`` when the deadline SLO cannot be met.  We model errno-style
+results with a small sentinel class so that call sites can write
+``if result is EBUSY: failover()`` exactly like the C code in Figure 2.
+"""
+
+
+class _Errno:
+    """Singleton errno-like sentinel (falsy, identity-comparable)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name):
+        self.name = name
+
+    def __repr__(self):
+        return self.name
+
+    def __bool__(self):
+        return False
+
+
+#: The fast-rejection signal: the OS predicts the IO cannot meet its deadline.
+EBUSY = _Errno("EBUSY")
+
+#: Returned by strategies when every replica failed (paper: "users receive
+#: read errors even though less-busy replicas are available", Table 1).
+EIO = _Errno("EIO")
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation framework itself."""
+
+
+class SchedulingInPastError(SimulationError):
+    """An event was scheduled before the current simulation time."""
+
+
+class ProcessCrashed(SimulationError):
+    """A top-level simulation process raised and nobody was waiting on it."""

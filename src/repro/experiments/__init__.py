@@ -1,0 +1,14 @@
+"""Experiment harnesses — one module per paper table/figure.
+
+Run from the command line::
+
+    python -m repro.experiments list
+    python -m repro.experiments fig5 [--full] [--seed N]
+
+Each module exposes ``run(quick=True, seed=0) -> ExperimentResult``; quick
+mode shrinks durations/request counts while keeping every qualitative shape.
+"""
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+
+__all__ = ["EXPERIMENTS", "get_experiment"]

@@ -1,0 +1,49 @@
+"""CLI: ``python -m repro.experiments <id> [--full] [--seed N]``."""
+
+import argparse
+import sys
+import time
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run MittOS reproduction experiments")
+    parser.add_argument("experiment",
+                        help="experiment id, 'list', or 'all'")
+    parser.add_argument("--full", action="store_true",
+                        help="full-size run (slower, tighter percentiles)")
+    parser.add_argument("--plot", action="store_true",
+                        help="also render ASCII CDF plots where available")
+    parser.add_argument("--json", metavar="PATH",
+                        help="append results as JSON lines to PATH")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for exp_id, (_, title) in EXPERIMENTS.items():
+            print(f"{exp_id:10s} {title}")
+        return 0
+
+    ids = list(EXPERIMENTS) if args.experiment == "all" \
+        else [args.experiment]
+    for exp_id in ids:
+        runner = get_experiment(exp_id)
+        start = time.time()
+        result = runner(quick=not args.full, seed=args.seed)
+        print(result.render())
+        if args.plot and result.plots:
+            print()
+            print(result.render_plots())
+        if args.json:
+            import json
+            with open(args.json, "a") as fh:
+                fh.write(json.dumps(result.to_dict()) + "\n")
+        print(f"\n[{exp_id} took {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,75 @@
+"""Figure 10 — tail sensitivity to prediction error (§7.7).
+
+Would a simpler (less accurate) device model still be effective?  The fig5
+setup runs with controlled decision errors injected into MittCFQ:
+
+* false-negative injection at E% — a would-be EBUSY is let through.  Only
+  slow requests are affected, so even E=100% merely degrades MittOS back
+  to Base;
+* false-positive injection at E% — a request that would meet its deadline
+  gets EBUSY anyway.  Mild at 20%, but at 100% every IO fails over (three
+  wasted hops per request) and the tail is *worse than Base*.
+"""
+
+from repro._units import MS
+from repro.experiments.common import (ExperimentResult, apply_ec2_noise,
+                                      build_disk_cluster, make_strategy,
+                                      percentile_rows, run_clients)
+from repro.mittos.faults import FaultInjector
+from repro.sim import Simulator
+
+ERROR_RATES = (0.0, 0.2, 0.6, 1.0)
+
+
+def _run_line(kind, rate, deadline_us, params, seed):
+    """kind: None=Base, 'fn'/'fp' = MittCFQ with injected errors."""
+    sim = Simulator(seed=seed)
+    fault = None
+    if kind is not None and rate > 0:
+        fault = FaultInjector(
+            sim.rng("faults"),
+            false_negative_rate=rate if kind == "fn" else 0.0,
+            false_positive_rate=rate if kind == "fp" else 0.0)
+    env = build_disk_cluster(sim, params["n_nodes"],
+                             fault_injector=fault)
+    from repro.workloads import Ec2NoiseModel
+    apply_ec2_noise(env, Ec2NoiseModel("disk"), params["horizon_us"])
+    name = "base" if kind is None else "mittos"
+    strategy = make_strategy(name, env.cluster,
+                             deadline_us=None if kind is None
+                             else deadline_us)
+    rec = run_clients(env, strategy, params["n_clients"], params["n_ops"],
+                      think_time_us=6 * MS, name=name,
+                      limit_us=params["horizon_us"])
+    return rec
+
+
+def run(quick=True, seed=7):
+    params = dict(n_nodes=20, n_clients=20 if quick else 30,
+                  n_ops=400 if quick else 1200,
+                  horizon_us=(60 if quick else 150) * MS * 1000)
+
+    base = _run_line(None, 0.0, None, params, seed)
+    deadline = base.p(95) * MS
+    base.name = "Base"
+
+    result = ExperimentResult("fig10", "Tail sensitivity to prediction "
+                                       "error")
+    for kind, title in (("fn", "Figure 10a: false-negative injection"),
+                        ("fp", "Figure 10b: false-positive injection")):
+        recs = []
+        for rate in ERROR_RATES:
+            rec = _run_line(kind, rate, deadline, params, seed)
+            rec.name = "NoError" if rate == 0 else f"{int(rate * 100)}%"
+            recs.append(rec)
+        recs.append(base)
+        headers, rows = percentile_rows(recs,
+                                        percentiles=(90, 92, 94, 96, 98))
+        result.add_table(f"{title} (ms)", headers, rows)
+        result.data[kind] = recs
+    result.add_note(f"deadline = Base p95 = {deadline / MS:.1f} ms")
+    return result
+
+
+if __name__ == "__main__":
+    print(run().render())

@@ -1,0 +1,32 @@
+"""Registry mapping experiment ids to their run() callables."""
+
+import importlib
+
+#: experiment id -> (module, title)
+EXPERIMENTS = {
+    "table1": ("repro.experiments.table1", "No TT in NoSQL (Table 1)"),
+    "fig3": ("repro.experiments.fig3", "EC2 millisecond dynamism (Figure 3)"),
+    "fig4": ("repro.experiments.fig4", "Microbenchmarks (Figure 4)"),
+    "fig5": ("repro.experiments.fig5", "MittCFQ vs others, EC2 noise (Figure 5)"),
+    "fig6": ("repro.experiments.fig6", "Tail amplified by scale (Figure 6)"),
+    "fig7": ("repro.experiments.fig7", "MittCache vs Hedged (Figure 7)"),
+    "fig8": ("repro.experiments.fig8", "MittSSD vs Hedged (Figure 8)"),
+    "fig9": ("repro.experiments.fig9", "Prediction inaccuracy (Figure 9)"),
+    "fig10": ("repro.experiments.fig10", "Tail sensitivity to errors (Figure 10)"),
+    "fig11": ("repro.experiments.fig11", "Macrobenchmark workload mix (Figure 11)"),
+    "fig12": ("repro.experiments.fig12", "Snitching/C3 vs bursty noise (Figure 12)"),
+    "fig13": ("repro.experiments.fig13", "Riak + LevelDB (Figure 13)"),
+    "allinone": ("repro.experiments.allinone", "All resources at once (7.8.5)"),
+    "writes": ("repro.experiments.writes", "Write latencies (7.8.6)"),
+}
+
+
+def get_experiment(experiment_id):
+    """The run() callable for an experiment id."""
+    try:
+        module_name, _ = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(f"unknown experiment: {experiment_id}; "
+                       f"known: {', '.join(sorted(EXPERIMENTS))}") from None
+    module = importlib.import_module(module_name)
+    return module.run

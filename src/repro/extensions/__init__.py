@@ -1,0 +1,13 @@
+"""Beyond the storage stack (§8.2): CPU/VMM and runtime-memory MittOS.
+
+The paper argues the fast-rejecting SLO-aware principle extends past
+storage: a VMM can reject messages to a VM that must still sleep past the
+deadline, and a managed runtime can reject requests that would stall
+behind a garbage-collection pause.  These modules build both models and
+their predictors.
+"""
+
+from repro.extensions.vmm import MittVmm, Vmm
+from repro.extensions.runtime_gc import ManagedRuntime, MittGc
+
+__all__ = ["Vmm", "MittVmm", "ManagedRuntime", "MittGc"]

@@ -1,0 +1,128 @@
+"""The anticipatory IO scheduler (§3.4 names it alongside noop and CFQ).
+
+Anticipatory scheduling [Iyer & Druschel, SOSP'01] fights deceptive
+idleness: after serving a read, the disk *waits* briefly instead of
+seeking away, anticipating another nearby read from the same process.  If
+it arrives within the anticipation window it is served with a near-zero
+seek; otherwise the timer expires and the scheduler moves on.
+
+For MittOS this is the third queueing discipline whose wait behaviour a
+predictor must understand: an arriving IO's wait now includes (up to) an
+anticipation stall, and an IO from the *anticipated* process jumps the
+queue.  :class:`~repro.mittos.mittanticipatory.MittAnticipatory` models
+both effects.
+"""
+
+from collections import deque
+
+from repro.devices.request import IoOp
+from repro.kernel.scheduler import IOScheduler
+
+
+class AnticipatoryScheduler(IOScheduler):
+    """FIFO plus anticipation: hold the disk for the last reader."""
+
+    def __init__(self, sim, device, anticipation_us=3000.0):
+        super().__init__(sim, device)
+        self._fifo = deque()
+        self.anticipation_us = anticipation_us
+        #: pid whose follow-up read we are currently anticipating.
+        self._anticipating_pid = None
+        self._anticipation_timer = None
+        self.anticipation_hits = 0
+        self.anticipation_expiries = 0
+        self._last_served_pid = None
+        # The anticipation decision must run before the device refills —
+        # the interceptor fires in exactly that window.
+        device.set_completion_interceptor(self._on_device_completion)
+
+    # -- queueing -----------------------------------------------------------
+    def _enqueue(self, req):
+        self._fifo.append(req)
+        if (self._anticipating_pid is not None
+                and req.pid == self._anticipating_pid
+                and req.op is IoOp.READ):
+            # The anticipated read arrived: stop waiting, serve it now.
+            self.anticipation_hits += 1
+            self._stop_anticipating()
+
+    def _next(self):
+        if self._anticipating_pid is not None:
+            return None  # deliberately idle: the disk is being held
+        while self._fifo:
+            # Prefer a queued read from the last served process (the
+            # anticipation payoff: near-zero seek).
+            req = self._pick()
+            if not req.cancelled:
+                return req
+        return None
+
+    def _pick(self):
+        last_pid = self._last_read_pid()
+        if last_pid is not None:
+            for req in self._fifo:
+                if req.pid == last_pid and req.op is IoOp.READ \
+                        and not req.cancelled:
+                    self._fifo.remove(req)
+                    return req
+        return self._fifo.popleft()
+
+    def _last_read_pid(self):
+        return self._last_served_pid
+
+    def _remove(self, req):
+        try:
+            self._fifo.remove(req)
+            return True
+        except ValueError:
+            return False
+
+    def queued_requests(self):
+        return [r for r in self._fifo if not r.cancelled]
+
+    # -- anticipation ----------------------------------------------------------
+    def _on_device_completion(self, req):
+        """Device finished ``req`` and is about to refill: hold it?"""
+        if req.op is IoOp.READ and not req.cancelled:
+            self._last_served_pid = req.pid
+            if not self._has_queued_read(req.pid) and \
+                    self.queued_requests():
+                # Deceptive idleness: other work is waiting, but hold the
+                # disk for this reader's likely follow-up anyway.
+                self._start_anticipating(req.pid)
+
+    def _has_queued_read(self, pid):
+        return any(r.pid == pid and r.op is IoOp.READ
+                   for r in self._fifo if not r.cancelled)
+
+    def _start_anticipating(self, pid):
+        self._stop_anticipating()
+        self._anticipating_pid = pid
+        self._anticipation_timer = self.sim.schedule(
+            self.anticipation_us, self._anticipation_expired)
+
+    def _anticipation_expired(self):
+        self.anticipation_expiries += 1
+        self._anticipating_pid = None
+        self._anticipation_timer = None
+        self._dispatch()
+
+    def _stop_anticipating(self):
+        if self._anticipation_timer is not None:
+            self._anticipation_timer.cancel()
+        self._anticipating_pid = None
+        self._anticipation_timer = None
+
+    def _on_device_drain(self):
+        # The base class already registered _dispatch; nothing extra, but
+        # keep the hook explicit for subclasses.
+        pass
+
+    @property
+    def anticipating(self):
+        return self._anticipating_pid is not None
+
+    @property
+    def anticipated_pid(self):
+        """pid the disk is being held for, or None."""
+        return self._anticipating_pid

@@ -1,0 +1,37 @@
+"""The noop scheduler: a FIFO dispatch queue (§4.1).
+
+Arriving IOs are put into a FIFO dispatch queue whose items are absorbed into
+the disk's device queue — exactly the structure MittNoop predicts over.
+"""
+
+from collections import deque
+
+from repro.kernel.scheduler import IOScheduler
+
+
+class NoopScheduler(IOScheduler):
+    """FIFO queueing; all reordering happens inside the device."""
+
+    def __init__(self, sim, device):
+        super().__init__(sim, device)
+        self._fifo = deque()
+
+    def _enqueue(self, req):
+        self._fifo.append(req)
+
+    def _next(self):
+        while self._fifo:
+            req = self._fifo.popleft()
+            if not req.cancelled:
+                return req
+        return None
+
+    def _remove(self, req):
+        try:
+            self._fifo.remove(req)
+            return True
+        except ValueError:
+            return False
+
+    def queued_requests(self):
+        return [r for r in self._fifo if not r.cancelled]

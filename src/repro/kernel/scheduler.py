@@ -1,0 +1,95 @@
+"""IO scheduler base: queueing above the device, dispatch into it.
+
+A scheduler owns the OS-level queues (noop's FIFO, CFQ's service trees) and
+dispatches into the device whenever the device has room, mirroring the block
+layer feeding NCQ slots.  Completion and cancellation flow back through
+request callbacks.  Listeners (the MittOS predictors) can observe dispatch
+and completion to maintain their wait-time bookkeeping.
+"""
+
+
+class IOScheduler:
+    """Base class: subclasses implement the queueing discipline."""
+
+    def __init__(self, sim, device):
+        self.sim = sim
+        self.device = device
+        device.add_drain_callback(self._dispatch)
+        self._submit_listeners = []
+        self._dispatch_listeners = []
+        self._complete_listeners = []
+        self.submitted = 0
+        self.cancelled = 0
+
+    # -- observation hooks (used by MittOS) -----------------------------------
+    def add_submit_listener(self, fn):
+        """``fn(req)`` runs when a request enters the scheduler queues."""
+        self._submit_listeners.append(fn)
+
+    def add_dispatch_listener(self, fn):
+        """``fn(req)`` runs when a request enters the device."""
+        self._dispatch_listeners.append(fn)
+
+    def add_complete_listener(self, fn):
+        """``fn(req)`` runs when a request completes at the device."""
+        self._complete_listeners.append(fn)
+
+    # -- public API ---------------------------------------------------------
+    def submit(self, req):
+        """Queue ``req`` and dispatch as far as device slots allow."""
+        req.submit_time = self.sim.now
+        self.submitted += 1
+        self._enqueue(req)
+        for fn in self._submit_listeners:
+            fn(req)
+        self._dispatch()
+
+    def cancel(self, req):
+        """Remove a still-queued request (MittCFQ's late rejection).
+
+        Returns True if the request was still in scheduler queues and has
+        been removed; False if it already reached the device (too late).
+        """
+        if self._remove(req):
+            req.cancelled = True
+            self.cancelled += 1
+            req.finish(self.sim.now)
+            return True
+        return False
+
+    def queued_requests(self):
+        """Snapshot of requests still inside scheduler queues."""
+        raise NotImplementedError
+
+    @property
+    def queued(self):
+        return len(self.queued_requests())
+
+    # -- discipline hooks -----------------------------------------------------
+    def _enqueue(self, req):
+        raise NotImplementedError
+
+    def _next(self):
+        """Pop the next request to dispatch, or None."""
+        raise NotImplementedError
+
+    def _remove(self, req):
+        """Remove ``req`` from the queues; True if found."""
+        raise NotImplementedError
+
+    # -- dispatch loop ----------------------------------------------------------
+    def _dispatch(self):
+        while self.device.has_room():
+            req = self._next()
+            if req is None:
+                return
+            if req.cancelled:
+                continue
+            for fn in self._dispatch_listeners:
+                fn(req)
+            req.add_callback(self._on_complete)
+            self.device.submit(req)
+
+    def _on_complete(self, req):
+        for fn in self._complete_listeners:
+            fn(req)

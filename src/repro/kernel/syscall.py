@@ -1,0 +1,200 @@
+"""The OS facade: the paper's SLO-aware syscalls (Figure 2).
+
+``read(..., deadline)`` is the new interface: one extra argument on the
+existing read path.  The flow matches §3.2: the request enters a resource
+queue; MittOS checks whether the deadline can be met; on predicted violation
+it instantly returns EBUSY *without queueing the IO*; otherwise the IO runs
+and may still be cancelled later (MittCFQ's bump-back handling), in which
+case EBUSY arrives when the violation becomes known.
+
+``addrcheck(addr-range, deadline)`` supports mmap-ed files (§4.4): a fast
+page-table walk, with the deadline propagated to the IO-layer predictor when
+pages are missing.
+
+Writes are buffered (memtable/NVRAM absorb) and flushed in the background at
+Idle priority — the reason user-facing write latency is flat (§7.8.6).
+"""
+
+from repro._units import MS, US
+from repro.devices.request import BlockRequest, IoClass, IoOp
+from repro.errors import EBUSY
+
+
+class OsParams:
+    """Host-OS cost constants (paper §3.3: syscall+EBUSY < 5 µs)."""
+
+    def __init__(self, syscall_us=2.0, ebusy_us=2.0, addrcheck_us=0.082,
+                 memory_read_base_us=15.0, memory_read_per_page_us=1.5,
+                 nvram_write_us=30.0, flush_threshold_bytes=8 << 20,
+                 flush_chunk_bytes=1 << 20, failover_hop_us=300.0):
+        self.syscall_us = syscall_us
+        self.ebusy_us = ebusy_us
+        self.addrcheck_us = addrcheck_us
+        self.memory_read_base_us = memory_read_base_us
+        self.memory_read_per_page_us = memory_read_per_page_us
+        self.nvram_write_us = nvram_write_us
+        self.flush_threshold_bytes = flush_threshold_bytes
+        self.flush_chunk_bytes = flush_chunk_bytes
+        #: T_hop — the one-hop failover allowance in the EBUSY test.
+        self.failover_hop_us = failover_hop_us
+
+
+class ReadResult:
+    """Success value of a completed read."""
+
+    __slots__ = ("cache_hit", "latency", "predicted_wait")
+
+    def __init__(self, cache_hit, latency, predicted_wait=None):
+        self.cache_hit = cache_hit
+        self.latency = latency
+        self.predicted_wait = predicted_wait
+
+    def __repr__(self):
+        where = "cache" if self.cache_hit else "device"
+        return f"<ReadResult {where} {self.latency:.1f}us>"
+
+
+class OS:
+    """One node's storage stack: cache above scheduler above device."""
+
+    def __init__(self, sim, device, scheduler, cache=None, predictor=None,
+                 params=None):
+        self.sim = sim
+        self.device = device
+        self.scheduler = scheduler
+        self.cache = cache
+        #: MittOS predictor for the device queue (None = vanilla Linux).
+        self.predictor = predictor
+        self.params = params or OsParams()
+        self._dirty_bytes = 0
+        self._flusher_running = False
+        self._flush_offset = 0
+        self.ebusy_returned = 0
+        self.reads = 0
+        self.writes = 0
+        if predictor is not None:
+            predictor.attach(self)
+
+    # -- reads -----------------------------------------------------------
+    def read(self, file_id, offset, size, pid=0, ioclass=IoClass.BE,
+             priority=4, deadline=None, io_observer=None):
+        """SLO-aware read; the returned event yields ReadResult or EBUSY.
+
+        ``io_observer(req)`` — if given — receives the underlying
+        :class:`BlockRequest` when one is created (cache misses), letting
+        callers track begin-execution or revoke queued IOs (tied requests).
+        """
+        ev = self.sim.event()
+        self.reads += 1
+        start = self.sim.now
+
+        if self.cache is not None and self.cache.touch(file_id, offset, size):
+            latency = self._memory_read_time(size)
+            self.sim.schedule(latency, ev.try_succeed,
+                              ReadResult(True, latency))
+            return ev
+
+        # Cache miss (or no cache): the IO layer serves it.
+        req = BlockRequest(IoOp.READ, offset, size, pid=pid, ioclass=ioclass,
+                           priority=priority)
+        if deadline is not None:
+            req.abs_deadline = start + deadline
+        req.tag["file_id"] = file_id
+        if io_observer is not None:
+            io_observer(req)
+
+        if deadline is not None and self.predictor is not None:
+            verdict = self.predictor.admit(req, deadline)
+            if not verdict.accept:
+                self.ebusy_returned += 1
+                if self.cache is not None:
+                    # Fairness caveat (§4.4): keep populating the cache.
+                    self.cache.note_ebusy_swapin(file_id, offset, size)
+                self.sim.schedule(self.params.ebusy_us, ev.try_succeed, EBUSY)
+                return ev
+
+        def on_complete(done_req):
+            if done_req.cancelled:
+                # Late rejection (MittCFQ bump-back): EBUSY after the fact.
+                self.ebusy_returned += 1
+                ev.try_succeed(EBUSY)
+                return
+            if self.cache is not None:
+                self.cache.insert(file_id, offset, size)
+            ev.try_succeed(ReadResult(False, self.sim.now - start,
+                                      done_req.predicted_wait))
+
+        req.add_callback(on_complete)
+        self.scheduler.submit(req)
+        return ev
+
+    def _memory_read_time(self, size):
+        pages = len(list(self.cache.pages_of(0, size))) if self.cache else 1
+        return (self.params.syscall_us + self.params.memory_read_base_us
+                + self.params.memory_read_per_page_us * pages)
+
+    # -- addrcheck (mmap support, §4.4) ------------------------------------
+    def addrcheck(self, file_id, offset, size, deadline):
+        """Synchronous residency + deadline check; returns True or EBUSY.
+
+        True means dereferencing the mmap-ed range will not violate the
+        deadline (resident, or the predicted fill IO fits the deadline).
+        """
+        if self.cache is None:
+            raise RuntimeError("addrcheck requires a page cache")
+        if self.cache.resident(file_id, offset, size):
+            return True
+        # Propagate the deadline to the IO layer (§4.4): EBUSY if even the
+        # fastest possible device IO misses it, or the predictor says busy.
+        if self.predictor is not None:
+            probe = BlockRequest(IoOp.READ, offset, size)
+            probe.abs_deadline = self.sim.now + deadline
+            verdict = self.predictor.admit(probe, deadline, probe_only=True)
+            if not verdict.accept:
+                self.ebusy_returned += 1
+                self.cache.note_ebusy_swapin(file_id, offset, size)
+                return EBUSY
+            return True
+        if deadline < self._min_io_latency(size):
+            self.ebusy_returned += 1
+            self.cache.note_ebusy_swapin(file_id, offset, size)
+            return EBUSY
+        return True
+
+    def _min_io_latency(self, size):
+        if self.predictor is not None:
+            return self.predictor.min_io_latency(size)
+        return 1 * MS  # conservative floor without a device model
+
+    # -- writes (buffered, §7.8.6) -----------------------------------------
+    def write(self, file_id, offset, size, pid=0):
+        """Buffered write: absorbed by memory/NVRAM, flushed in background."""
+        ev = self.sim.event()
+        self.writes += 1
+        self._dirty_bytes += size
+        self.sim.schedule(self.params.nvram_write_us, ev.try_succeed, True)
+        if (self._dirty_bytes >= self.params.flush_threshold_bytes
+                and not self._flusher_running):
+            self._flusher_running = True
+            self.sim.schedule(0.0, self._flush_some)
+        return ev
+
+    def _flush_some(self):
+        if self._dirty_bytes <= 0:
+            self._flusher_running = False
+            return
+        chunk = min(self._dirty_bytes, self.params.flush_chunk_bytes)
+        self._dirty_bytes -= chunk
+        req = BlockRequest(IoOp.WRITE, self._flush_offset, chunk,
+                           pid=-1, ioclass=IoClass.IDLE, priority=7)
+        self._flush_offset = (self._flush_offset + chunk) % (1 << 38)
+        req.add_callback(lambda _: self._flush_some())
+        self.scheduler.submit(req)
+
+    # -- direct submission (noise injector, trace replay) ------------------
+    def submit_raw(self, req, on_complete=None):
+        """Bypass cache/SLO: used by competing-tenant noise workloads."""
+        if on_complete is not None:
+            req.add_callback(on_complete)
+        self.scheduler.submit(req)
+        return req

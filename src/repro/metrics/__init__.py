@@ -1,0 +1,7 @@
+"""Latency recording, percentile math, and result formatting."""
+
+from repro.metrics.latency import LatencyRecorder, percentile
+from repro.metrics.reduction import latency_reduction
+from repro.metrics.tables import format_table
+
+__all__ = ["LatencyRecorder", "percentile", "latency_reduction", "format_table"]

@@ -1,0 +1,52 @@
+"""Terminal CDF plots shaped like the paper's latency figures.
+
+The evaluation figures are latency CDFs with a handful of lines (NoNoise /
+Base / MittOS / Hedged / ...).  ``ascii_cdf`` renders the same layout in
+monospace so ``python -m repro.experiments fig5 --plot`` shows the figure,
+not just its percentile table.
+"""
+
+_MARKERS = "*o+x#@%&"
+
+
+def ascii_cdf(recorders, width=64, height=18, x_max=None, y_min=0.0,
+              title=None):
+    """Render latency CDFs of several LatencyRecorders.
+
+    ``recorders`` is a list (name order = marker order).  ``x_max`` clips
+    the x axis (ms); ``y_min`` starts the y axis at a percentile fraction
+    (the paper often plots p90-p100 only).
+    """
+    if not recorders:
+        raise ValueError("nothing to plot")
+    series = {}
+    for rec in recorders:
+        points = rec.cdf(points=width * 2)
+        series[rec.name or f"line{len(series)}"] = points
+    if x_max is None:
+        x_max = max(x for pts in series.values() for x, _ in pts)
+    x_max = max(x_max, 1e-9)
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, points) in enumerate(series.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        for x, y in points:
+            if y < y_min:
+                continue
+            col = min(width - 1, int(min(x, x_max) / x_max * (width - 1)))
+            row = int((y - y_min) / (1.0 - y_min + 1e-12) * (height - 1))
+            row = height - 1 - min(height - 1, max(0, row))
+            grid[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        frac = y_min + (1.0 - y_min) * (height - 1 - i) / (height - 1)
+        lines.append(f"p{100 * frac:5.1f} |" + "".join(row))
+    lines.append(" " * 7 + "+" + "-" * width)
+    lines.append(" " * 8 + f"0{'ms'.rjust(width - 10)}{x_max:7.1f}")
+    legend = "  ".join(f"{_MARKERS[i % len(_MARKERS)]}={name}"
+                       for i, name in enumerate(series))
+    lines.append(" " * 8 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,108 @@
+"""Latency samples, percentiles, and CDFs.
+
+The paper reports client-observed get() latencies as CDFs and percentile
+tables (``pY`` denotes the Y-th percentile).  A :class:`LatencyRecorder`
+collects samples in microseconds and reports in milliseconds to match the
+paper's figures.
+"""
+
+import math
+
+from repro._units import MS
+
+
+def percentile(samples, p):
+    """The p-th percentile (0..100) by linear interpolation.
+
+    Matches numpy's default ("linear") interpolation so tests can
+    cross-check, without forcing numpy at call sites.
+    """
+    if not 0 <= p <= 100:
+        raise ValueError(f"percentile out of range: {p}")
+    data = sorted(samples)
+    if not data:
+        raise ValueError("percentile of empty sample set")
+    if len(data) == 1:
+        return data[0]
+    rank = (p / 100) * (len(data) - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return data[lo]
+    frac = rank - lo
+    # a + f*(b-a) is exact for a == b (a*(1-f) + b*f can wobble 1 ulp).
+    return data[lo] + frac * (data[hi] - data[lo])
+
+
+class LatencyRecorder:
+    """Collects latency samples (µs) for one experiment line.
+
+    Also counts tagged outcomes (EBUSY rejections, failovers, errors) so the
+    experiments can report request-path behaviour alongside latency.
+    """
+
+    def __init__(self, name=""):
+        self.name = name
+        self.samples = []
+        self.counters = {}
+
+    # -- recording -------------------------------------------------------
+    def add(self, latency_us):
+        if latency_us < 0:
+            raise ValueError(f"negative latency: {latency_us}")
+        self.samples.append(latency_us)
+
+    def count(self, tag, n=1):
+        """Increment an outcome counter such as ``'failover'``."""
+        self.counters[tag] = self.counters.get(tag, 0) + n
+
+    def extend(self, other):
+        """Merge another recorder's samples and counters into this one."""
+        self.samples.extend(other.samples)
+        for tag, n in other.counters.items():
+            self.count(tag, n)
+
+    # -- stats (all reported in milliseconds) --------------------------------
+    def __len__(self):
+        return len(self.samples)
+
+    @property
+    def mean_ms(self):
+        return (sum(self.samples) / len(self.samples)) / MS
+
+    def p(self, pct):
+        """Percentile in milliseconds (paper's ``pY`` notation)."""
+        return percentile(self.samples, pct) / MS
+
+    def max_ms(self):
+        return max(self.samples) / MS
+
+    def cdf(self, points=200):
+        """(latency_ms, cumulative_fraction) pairs for plotting/inspection."""
+        data = sorted(self.samples)
+        n = len(data)
+        if n == 0:
+            return []
+        step = max(1, n // points)
+        out = []
+        for i in range(0, n, step):
+            out.append((data[i] / MS, (i + 1) / n))
+        if out[-1][1] != 1.0:
+            out.append((data[-1] / MS, 1.0))
+        return out
+
+    def fraction_above(self, threshold_ms):
+        """Fraction of samples slower than ``threshold_ms``."""
+        limit = threshold_ms * MS
+        if not self.samples:
+            return 0.0
+        return sum(1 for s in self.samples if s > limit) / len(self.samples)
+
+    def summary(self, percentiles=(50, 75, 90, 95, 99)):
+        """Dict of headline stats in milliseconds."""
+        out = {"name": self.name, "count": len(self.samples),
+               "mean": self.mean_ms}
+        for pct in percentiles:
+            out[f"p{pct}"] = self.p(pct)
+        out.update(self.counters)
+        return out

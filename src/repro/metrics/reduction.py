@@ -1,0 +1,29 @@
+"""The paper's "% latency reduction" metric (footnote 2, §7.2).
+
+``reduction = (T_other - T_mittos) / T_other`` evaluated per percentile
+(and for the mean, which the paper calls "Avg").
+"""
+
+
+def latency_reduction(other, mitt, percentiles=(75, 90, 95, 99)):
+    """Percent reduction of ``mitt`` relative to ``other`` per percentile.
+
+    Both arguments are :class:`~repro.metrics.latency.LatencyRecorder`.
+    Returns a dict like ``{"avg": 8.1, "p95": 23.4, ...}`` (percent).
+    """
+    out = {"avg": 100.0 * (other.mean_ms - mitt.mean_ms) / other.mean_ms}
+    for pct in percentiles:
+        t_other = other.p(pct)
+        t_mitt = mitt.p(pct)
+        out[f"p{pct}"] = 100.0 * (t_other - t_mitt) / t_other
+    return out
+
+
+def reduction_curve(other, mitt, lo=40, hi=99, step=1):
+    """(percentile, % reduction) pairs — the layout of Figure 11b."""
+    points = []
+    for pct in range(lo, hi + 1, step):
+        t_other = other.p(pct)
+        t_mitt = mitt.p(pct)
+        points.append((pct, 100.0 * (t_other - t_mitt) / t_other))
+    return points

@@ -1,0 +1,29 @@
+"""Fixed-width ASCII tables for experiment output.
+
+Experiments print rows shaped like the paper's tables/figures; keeping the
+formatter tiny and dependency-free makes the harness output stable for
+EXPERIMENTS.md and for golden-output assertions in tests.
+"""
+
+
+def _fmt(value):
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(headers, rows, title=None):
+    """Render a list-of-rows table with padded columns."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

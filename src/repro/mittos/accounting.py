@@ -1,0 +1,79 @@
+"""Prediction-accuracy accounting (§7.6).
+
+During accuracy tests EBUSY is never actually returned (a rejected IO would
+not run, so its true completion time could not be measured).  Instead the
+decision is attached to the IO descriptor and compared at completion:
+
+* false positive — EBUSY decided, but ``T_processActual <= T_deadline``;
+* false negative — no EBUSY, but ``T_processActual > T_deadline``.
+
+The tracker also records how far off the wrong predictions were (the paper:
+all diffs < 3 ms disk / < 1 ms SSD on average).
+"""
+
+
+class AccuracyTracker:
+    """Counts FP/FN over deadline-tagged IOs and records prediction diffs."""
+
+    def __init__(self):
+        self.total = 0
+        self.false_positives = 0
+        self.false_negatives = 0
+        self.correct = 0
+        #: |actual - predicted| (µs) for the *misclassified* IOs.
+        self.error_diffs = []
+
+    def observe_decision(self, req, rejected):
+        req.tag["accuracy_rejected"] = rejected
+
+    def observe_completion(self, req):
+        rejected = req.tag.get("accuracy_rejected")
+        if rejected is None or req.abs_deadline is None:
+            return
+        if req.cancelled or req.complete_time is None:
+            return
+        self.total += 1
+        actual_violation = req.complete_time > req.abs_deadline
+        if rejected and not actual_violation:
+            self.false_positives += 1
+            self._record_diff(req)
+        elif not rejected and actual_violation:
+            self.false_negatives += 1
+            self._record_diff(req)
+        else:
+            self.correct += 1
+
+    def _record_diff(self, req):
+        if req.predicted_wait is None or req.predicted_service is None:
+            return
+        predicted = (req.submit_time + req.predicted_wait
+                     + req.predicted_service)
+        self.error_diffs.append(abs(req.complete_time - predicted))
+
+    # -- reporting ----------------------------------------------------------
+    @property
+    def fp_rate(self):
+        return self.false_positives / self.total if self.total else 0.0
+
+    @property
+    def fn_rate(self):
+        return self.false_negatives / self.total if self.total else 0.0
+
+    @property
+    def inaccuracy(self):
+        """Total inaccuracy — the paper's headline number (FP% + FN%)."""
+        return self.fp_rate + self.fn_rate
+
+    def mean_diff_us(self):
+        if not self.error_diffs:
+            return 0.0
+        return sum(self.error_diffs) / len(self.error_diffs)
+
+    def max_diff_us(self):
+        return max(self.error_diffs) if self.error_diffs else 0.0
+
+    def summary(self):
+        return {"total": self.total, "fp_rate": self.fp_rate,
+                "fn_rate": self.fn_rate, "inaccuracy": self.inaccuracy,
+                "mean_diff_us": self.mean_diff_us(),
+                "max_diff_us": self.max_diff_us()}

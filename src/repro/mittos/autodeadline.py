@@ -1,0 +1,63 @@
+"""Automatic deadline tuning — the open problem of §8.1.
+
+"Applications must set precise deadline values, which could be a major
+burden. ... too many EBUSYs imply that the deadline is too strict, but
+rare EBUSYs and longer tail latencies imply that the deadline is too
+relaxed.  The open challenge is to find a 'sweet spot' in between, which
+we leave for future work."
+
+:class:`DeadlineController` is a windowed feedback controller on exactly
+that signal: it watches the EBUSY (failover) rate over a sliding window
+and nudges the deadline multiplicatively toward a target rate — the same
+~5% budget hedged requests aim at with their p95 rule.
+"""
+
+
+class DeadlineController:
+    """Keep the EBUSY rate inside a band by adjusting the deadline."""
+
+    def __init__(self, initial_us, target_rate=0.05, band=0.5,
+                 window=100, step=1.25, min_us=100.0, max_us=1_000_000.0):
+        if initial_us <= 0:
+            raise ValueError("deadline must be positive")
+        if not 0 < target_rate < 1:
+            raise ValueError("target rate must be in (0, 1)")
+        if step <= 1.0:
+            raise ValueError("step must be > 1")
+        self.deadline_us = float(initial_us)
+        self.target_rate = target_rate
+        #: Tolerated relative deviation before adjusting (hysteresis).
+        self.band = band
+        self.window = window
+        self.step = step
+        self.min_us = min_us
+        self.max_us = max_us
+        self._ebusy = 0
+        self._total = 0
+        self.adjustments = []   # (time-ordered) deadline values applied
+
+    def record(self, was_ebusy):
+        """Feed one request outcome; may adjust the deadline."""
+        self._total += 1
+        if was_ebusy:
+            self._ebusy += 1
+        if self._total < self.window:
+            return
+        rate = self._ebusy / self._total
+        self._ebusy = 0
+        self._total = 0
+        if rate > self.target_rate * (1 + self.band):
+            # Too many rejections: the deadline is too strict — relax.
+            self._apply(self.deadline_us * self.step)
+        elif rate < self.target_rate * (1 - self.band):
+            # Rare EBUSYs (and hence longer tails): tighten.
+            self._apply(self.deadline_us / self.step)
+
+    def _apply(self, new_deadline):
+        self.deadline_us = min(self.max_us, max(self.min_us, new_deadline))
+        self.adjustments.append(self.deadline_us)
+
+    @property
+    def current_rate(self):
+        """EBUSY rate within the in-progress window."""
+        return self._ebusy / self._total if self._total else 0.0

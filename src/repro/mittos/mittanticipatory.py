@@ -1,0 +1,32 @@
+"""MittOS over the anticipatory scheduler (§3.4's third discipline).
+
+Two anticipation effects change the wait estimate relative to MittNoop:
+
+* an arriving IO from a *different* process may first sit out the
+  remaining anticipation window (the disk is deliberately idle), and
+* an arriving read from the *anticipated* process jumps the FIFO queue
+  (its wait excludes everything queued behind the anticipation).
+"""
+
+from repro.devices.request import IoOp
+from repro.mittos.mittnoop import MittNoop
+
+
+class MittAnticipatory(MittNoop):
+    """MittNoop plus anticipation-window modelling."""
+
+    name = "mittanticipatory"
+
+    def _estimate(self, req):
+        scheduler = self.os.scheduler
+        if (scheduler.anticipating
+                and req.op is IoOp.READ
+                and req.pid == scheduler.anticipated_pid):
+            # The anticipated read: served immediately with a short seek.
+            service = self.model.service_time(self._head, req)
+            return 0.0, service
+        wait, service = super()._estimate(req)
+        if scheduler.anticipating:
+            # Worst case the full window elapses before anything moves.
+            wait += scheduler.anticipation_us
+        return wait, service

@@ -1,0 +1,67 @@
+"""MittCache — buffer-cache awareness in front of the IO layer (§4.4).
+
+MittCache is deliberately thin: the buffer cache and page tables are exact,
+so there is no prediction problem — only *propagation*:
+
+* ``read(..., deadline)`` on a cache miss forwards the deadline to the
+  underlying IO predictor; if no IO predictor exists (or the deadline is
+  smaller than the fastest possible device IO — the user expected a memory
+  hit), EBUSY comes back immediately;
+* ``addrcheck()`` walks the residency map before an mmap dereference.
+
+This class composes over an optional IO-layer predictor so a node can run
+MittCache alone (memory-expectation workloads) or MittCache + MittCFQ /
+MittSSD stacked (the §7.8.5 all-in-one deployment).
+"""
+
+from repro._units import MS
+from repro.mittos.predictor import Predictor, Verdict
+
+
+class MittCache(Predictor):
+    """Cache-level SLO guard, optionally stacked on an IO predictor."""
+
+    name = "mittcache"
+
+    def __init__(self, io_predictor=None, fallback_min_io_us=1 * MS,
+                 **kwargs):
+        super().__init__(**kwargs)
+        self.io_predictor = io_predictor
+        #: Floor used when no IO predictor is stacked: any deadline below
+        #: the fastest possible device IO means "I expected memory".
+        self.fallback_min_io_us = fallback_min_io_us
+
+    def attach(self, os):
+        super().attach(os)
+        if os.cache is None:
+            raise RuntimeError("MittCache requires an OS with a page cache")
+        if self.io_predictor is not None:
+            # Stacked predictor shares the same OS (device bookkeeping).
+            self.io_predictor.os = os
+            self.io_predictor.sim = os.sim
+            os.scheduler.add_dispatch_listener(self.io_predictor._on_dispatch)
+            os.scheduler.add_complete_listener(self.io_predictor._on_complete)
+            self.io_predictor._attached()
+
+    # The OS only consults the predictor on cache *misses*, so admit() here
+    # decides the fate of an IO that must touch the device.
+    def admit(self, req, deadline, probe_only=False):
+        if self.io_predictor is not None:
+            return self.io_predictor.admit(req, deadline,
+                                           probe_only=probe_only)
+        wait, service = self._estimate(req)
+        req.predicted_wait = wait
+        req.predicted_service = service
+        accept = service <= deadline + self.os.params.failover_hop_us
+        if self.fault_injector is not None:
+            accept = self.fault_injector.apply(accept)
+        self._note(accept, wait)
+        return Verdict(accept, wait, service)
+
+    def _estimate(self, req):
+        return 0.0, self.min_io_latency(req.size)
+
+    def min_io_latency(self, size):
+        if self.io_predictor is not None:
+            return self.io_predictor.min_io_latency(size)
+        return self.fallback_min_io_us

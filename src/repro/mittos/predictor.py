@@ -1,0 +1,129 @@
+"""Predictor base: the admit-or-EBUSY decision machinery (§3.4).
+
+A predictor answers one question for every SLO-tagged IO: *will this request
+complete within its deadline?*  Subclasses supply ``_estimate(req)`` —
+(predicted wait, predicted service) in µs — and the base class applies the
+rejection test
+
+    predicted_wait + predicted_service > deadline + T_hop
+
+where ``T_hop`` is the one-hop failover allowance (0.3 ms in the paper's
+testbed).  The base class also hosts the two evaluation facilities:
+
+* **shadow mode** (§7.6): decisions are recorded but never enforced, so the
+  true IO completion can be compared against the prediction, and
+* **fault injection** (§7.7): flip decisions at a configured false-positive /
+  false-negative rate to study tail sensitivity to prediction error.
+"""
+
+
+class Verdict:
+    """Result of an admission check."""
+
+    __slots__ = ("accept", "predicted_wait", "predicted_service")
+
+    def __init__(self, accept, predicted_wait, predicted_service):
+        self.accept = accept
+        self.predicted_wait = predicted_wait
+        self.predicted_service = predicted_service
+
+    @property
+    def predicted_total(self):
+        return self.predicted_wait + self.predicted_service
+
+    def __repr__(self):
+        word = "accept" if self.accept else "EBUSY"
+        return (f"<Verdict {word} wait={self.predicted_wait:.0f}us "
+                f"service={self.predicted_service:.0f}us>")
+
+
+class Predictor:
+    """Base class for MittNoop/MittCfq/MittSsd/MittCache."""
+
+    name = "predictor"
+
+    def __init__(self, shadow=False, fault_injector=None, accuracy=None):
+        self.os = None
+        self.sim = None
+        #: Shadow mode: record decisions, enforce nothing (§7.6).
+        self.shadow = shadow
+        self.fault_injector = fault_injector
+        self.accuracy = accuracy
+        self.admitted = 0
+        self.rejected = 0
+        #: Predicted wait of the most recent rejection — the "richer
+        #: response" extension (§8.1) piggybacks this on EBUSY.
+        self.last_rejected_wait = None
+
+    # -- lifecycle ----------------------------------------------------------
+    def attach(self, os):
+        """Bind to an :class:`repro.kernel.syscall.OS` instance."""
+        self.os = os
+        self.sim = os.sim
+        os.scheduler.add_dispatch_listener(self._on_dispatch)
+        os.scheduler.add_complete_listener(self._on_complete)
+        self._attached()
+
+    def _attached(self):
+        """Subclass hook: extra wiring after attach."""
+
+    # -- the admission decision ------------------------------------------------
+    def admit(self, req, deadline, probe_only=False):
+        """Accept or reject ``req`` against its relative ``deadline`` (µs).
+
+        ``probe_only`` is the addrcheck path: evaluate the decision without
+        reserving queue time for the IO (the caller may never submit it).
+        """
+        wait, service = self._estimate(req)
+        req.predicted_wait = wait
+        req.predicted_service = service
+        hop = self.os.params.failover_hop_us if self.os else 0.0
+        accept = (wait + service) <= (deadline + hop)
+
+        if self.fault_injector is not None:
+            accept = self.fault_injector.apply(accept)
+
+        if self.shadow:
+            # Record the would-be decision; always run the IO (§7.6).
+            req.shadow_ebusy = not accept
+            if self.accuracy is not None:
+                self.accuracy.observe_decision(req, rejected=not accept)
+            self._note(True)
+            if not probe_only:
+                self._on_admit(req)
+            return Verdict(True, wait, service)
+
+        if self.accuracy is not None:
+            self.accuracy.observe_decision(req, rejected=not accept)
+        self._note(accept, wait)
+        if accept and not probe_only:
+            self._on_admit(req)
+        return Verdict(accept, wait, service)
+
+    def _note(self, accept, wait=None):
+        if accept:
+            self.admitted += 1
+        else:
+            self.rejected += 1
+            self.last_rejected_wait = wait
+
+    # -- subclass hooks ------------------------------------------------------
+    def _estimate(self, req):
+        """Return (predicted_wait_us, predicted_service_us) for ``req``."""
+        raise NotImplementedError
+
+    def _on_admit(self, req):
+        """Bookkeeping when a deadline IO is accepted (e.g. MittCFQ's
+        tolerable-time table)."""
+
+    def _on_dispatch(self, req):
+        """Scheduler dispatched ``req`` into the device."""
+
+    def _on_complete(self, req):
+        """Device completed ``req``."""
+        if self.accuracy is not None:
+            self.accuracy.observe_completion(req)
+
+    def min_io_latency(self, size):
+        """Fastest possible device IO (MittCache's propagation floor)."""
+        raise NotImplementedError

@@ -1,0 +1,128 @@
+"""SLO types: latency deadlines, per-user registries (§3.2, §5, §8.1).
+
+The paper uses a latency deadline as the primary SLO form ("read() should
+not take more than 20 ms"), usually set to the workload's p95 expected
+latency, with one deadline per user, modifiable at any time.  §8.1 names
+two richer forms left as future work, both provided here: a *throughput*
+SLO (translated to a per-IO deadline by request size) and an adaptive
+*percentile* SLO that keeps tracking the live workload.
+"""
+
+import bisect
+
+from repro._units import MS, SEC
+
+
+class DeadlineSlo:
+    """A latency deadline in microseconds."""
+
+    __slots__ = ("deadline_us",)
+
+    def __init__(self, deadline_us):
+        if deadline_us <= 0:
+            raise ValueError(f"deadline must be positive: {deadline_us}")
+        self.deadline_us = float(deadline_us)
+
+    @classmethod
+    def from_ms(cls, deadline_ms):
+        return cls(deadline_ms * MS)
+
+    @classmethod
+    def from_percentile(cls, recorder, pct=95):
+        """Set the deadline to a measured percentile (paper: p95, §7.2)."""
+        return cls(recorder.p(pct) * MS)
+
+    def deadline_for(self, size_bytes):
+        return self.deadline_us
+
+    def __repr__(self):
+        return f"DeadlineSlo({self.deadline_us / MS:.2f}ms)"
+
+
+class ThroughputSlo:
+    """A minimum-throughput SLO (§8.1: "other forms ... throughput").
+
+    An IO of N bytes must progress at at least ``min_bytes_per_sec``, so
+    its implied deadline is ``base + N / rate`` — small IOs get tight
+    deadlines, bulk IOs proportionally longer ones.
+    """
+
+    __slots__ = ("min_bytes_per_sec", "base_us")
+
+    def __init__(self, min_bytes_per_sec, base_us=1 * MS):
+        if min_bytes_per_sec <= 0:
+            raise ValueError("throughput must be positive")
+        self.min_bytes_per_sec = float(min_bytes_per_sec)
+        self.base_us = base_us
+
+    @property
+    def deadline_us(self):
+        return self.base_us  # floor for size-less call sites
+
+    def deadline_for(self, size_bytes):
+        return self.base_us + SEC * size_bytes / self.min_bytes_per_sec
+
+    def __repr__(self):
+        return (f"ThroughputSlo({self.min_bytes_per_sec / (1 << 20):.1f}"
+                "MB/s)")
+
+
+class PercentileSlo:
+    """A self-updating pXX deadline (§8.1's "statistical distribution").
+
+    Keeps a bounded sliding sample of observed latencies and exposes the
+    chosen percentile as the live deadline, so "deadline = p95" stays true
+    as the workload drifts — no manual recalibration.
+    """
+
+    def __init__(self, pct=95, initial_us=20 * MS, window=512):
+        if not 0 < pct < 100:
+            raise ValueError("percentile must be in (0, 100)")
+        self.pct = pct
+        self.window = window
+        self._initial_us = float(initial_us)
+        self._sorted = []
+        self._fifo = []
+
+    def observe(self, latency_us):
+        """Feed one observed request latency."""
+        self._fifo.append(latency_us)
+        bisect.insort(self._sorted, latency_us)
+        if len(self._fifo) > self.window:
+            old = self._fifo.pop(0)
+            self._sorted.pop(bisect.bisect_left(self._sorted, old))
+
+    @property
+    def deadline_us(self):
+        if len(self._sorted) < 20:
+            return self._initial_us
+        rank = int(len(self._sorted) * self.pct / 100)
+        return self._sorted[min(rank, len(self._sorted) - 1)]
+
+    def deadline_for(self, size_bytes):
+        return self.deadline_us
+
+    def __repr__(self):
+        return f"PercentileSlo(p{self.pct}={self.deadline_us / MS:.2f}ms)"
+
+
+class SloRegistry:
+    """Per-user deadlines, updatable at any time (paper's MongoDB mod #1)."""
+
+    def __init__(self, default=None):
+        self._default = default
+        self._by_user = {}
+
+    def set(self, user, slo):
+        if not hasattr(slo, "deadline_us"):
+            raise TypeError("SloRegistry stores SLO objects "
+                            "(DeadlineSlo/ThroughputSlo/PercentileSlo)")
+        self._by_user[user] = slo
+
+    def get(self, user):
+        """The user's SLO, or the registry default, or None (no deadline)."""
+        return self._by_user.get(user, self._default)
+
+    def deadline_us(self, user):
+        slo = self.get(user)
+        return None if slo is None else slo.deadline_us

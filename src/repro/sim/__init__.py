@@ -1,0 +1,14 @@
+"""Discrete-event simulation kernel.
+
+A minimal, deterministic DES: a :class:`~repro.sim.core.Simulator` owns an
+event heap and a clock in microseconds; :class:`~repro.sim.events.Event`
+objects are one-shot triggers with callbacks; and
+:class:`~repro.sim.process.Process` runs generator coroutines that ``yield``
+events or timeouts, in the style of SimPy.
+"""
+
+from repro.sim.core import Simulator
+from repro.sim.events import AllOf, AnyOf, Event
+from repro.sim.process import Process
+
+__all__ = ["Simulator", "Event", "AllOf", "AnyOf", "Process"]

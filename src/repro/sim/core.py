@@ -1,0 +1,153 @@
+"""The simulator: event heap, clock, and deterministic RNG streams."""
+
+import heapq
+import itertools
+import random
+
+from repro.errors import ProcessCrashed, SchedulingInPastError
+from repro.sim.events import AllOf, AnyOf, Event
+from repro.sim.process import Process
+
+
+class Handle:
+    """A scheduled callback; :meth:`cancel` makes it a no-op."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time, seq, fn, args):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self):
+        """Prevent the callback from running (O(1); entry stays in heap)."""
+        self.cancelled = True
+        # Drop references so cancelled closures don't pin object graphs.
+        self.fn = None
+        self.args = ()
+
+    def __lt__(self, other):
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Simulator:
+    """Deterministic discrete-event simulator with a microsecond clock.
+
+    Determinism: events at equal times run in scheduling order, and all
+    randomness flows through named, seeded streams from :meth:`rng`, so a
+    (seed, workload) pair always replays identically.
+    """
+
+    def __init__(self, seed=0):
+        self.now = 0.0
+        self.seed = seed
+        self._heap = []
+        self._seq = itertools.count()
+        self._rngs = {}
+        self._crashes = []
+
+    # -- scheduling ---------------------------------------------------------
+    def schedule(self, delay, fn, *args):
+        """Run ``fn(*args)`` after ``delay`` microseconds."""
+        return self.schedule_at(self.now + delay, fn, *args)
+
+    def schedule_at(self, time, fn, *args):
+        """Run ``fn(*args)`` at absolute simulation time ``time``."""
+        if time < self.now:
+            raise SchedulingInPastError(
+                f"schedule at {time} < now {self.now}")
+        handle = Handle(time, next(self._seq), fn, args)
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    # -- event factories ------------------------------------------------------
+    def event(self):
+        """A fresh pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay, value=None):
+        """An event that succeeds after ``delay`` microseconds."""
+        ev = Event(self)
+        self.schedule(delay, ev.try_succeed, value)
+        return ev
+
+    def process(self, generator):
+        """Run a generator coroutine as a :class:`Process`."""
+        return Process(self, generator)
+
+    def all_of(self, events):
+        return AllOf(self, events)
+
+    def any_of(self, events):
+        return AnyOf(self, events)
+
+    # -- randomness -----------------------------------------------------------
+    def rng(self, name):
+        """A named, deterministic ``random.Random`` stream.
+
+        Separate subsystems draw from separate streams so that adding draws
+        in one place never perturbs another (important when comparing
+        strategies under identical noise).
+        """
+        stream = self._rngs.get(name)
+        if stream is None:
+            stream = random.Random(f"{self.seed}/{name}")
+            self._rngs[name] = stream
+        return stream
+
+    # -- execution -----------------------------------------------------------
+    def step(self):
+        """Run the next non-cancelled event; return False when drained."""
+        while self._heap:
+            handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self.now = handle.time
+            handle.fn(*handle.args)
+            self._raise_crashes()
+            return True
+        return False
+
+    def run(self, until=None):
+        """Run until the heap drains or the clock passes ``until`` (µs)."""
+        while self._heap:
+            handle = self._heap[0]
+            if handle.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and handle.time > until:
+                break
+            heapq.heappop(self._heap)
+            self.now = handle.time
+            handle.fn(*handle.args)
+            self._raise_crashes()
+        if until is not None and self.now < until:
+            self.now = until
+
+    def run_until(self, event, limit=None):
+        """Run until ``event`` triggers (or the heap drains / clock passes
+        ``limit``); returns whether the event triggered."""
+        while not event.triggered:
+            if limit is not None and self._heap and \
+                    self._heap[0].time > limit:
+                break
+            if not self.step():
+                break
+        return event.triggered
+
+    # -- crash plumbing ---------------------------------------------------------
+    def _report_crash(self, event, exc):
+        self._crashes.append((event, exc))
+
+    def defuse(self, event):
+        """Mark a failed event as handled (drop it from crash reporting)."""
+        self._crashes = [(ev, e) for ev, e in self._crashes if ev is not event]
+
+    def _raise_crashes(self):
+        if self._crashes:
+            _, exc = self._crashes[0]
+            self._crashes.clear()
+            raise ProcessCrashed(
+                f"unhandled failure in simulation process: {exc!r}") from exc

@@ -1,0 +1,154 @@
+"""One-shot events and combinators for the DES kernel."""
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """A one-shot occurrence that callbacks (and processes) can wait on.
+
+    An event is *pending* until :meth:`succeed` or :meth:`fail` is called,
+    after which its ``value`` (or ``exception``) is frozen and all registered
+    callbacks run immediately, in registration order.
+    """
+
+    __slots__ = ("sim", "_done", "_ok", "_value", "_exc", "_callbacks")
+
+    def __init__(self, sim):
+        self.sim = sim
+        self._done = False
+        self._ok = False
+        self._value = None
+        self._exc = None
+        self._callbacks = []
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self):
+        """Whether the event already succeeded or failed."""
+        return self._done
+
+    @property
+    def ok(self):
+        """Whether the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self):
+        """The success value; raises if the event failed or is pending."""
+        if not self._done:
+            raise SimulationError("event value read before trigger")
+        if not self._ok:
+            raise self._exc
+        return self._value
+
+    @property
+    def exception(self):
+        """The failure exception, or None."""
+        return self._exc
+
+    # -- triggering --------------------------------------------------------
+    def succeed(self, value=None):
+        """Trigger the event successfully with ``value``."""
+        if self._done:
+            raise SimulationError("event triggered twice")
+        self._done = True
+        self._ok = True
+        self._value = value
+        self._run_callbacks()
+        return self
+
+    def try_succeed(self, value=None):
+        """Like :meth:`succeed` but a no-op if already triggered.
+
+        Useful for races (e.g. a timeout vs. a completion) where losing the
+        race is expected.
+        """
+        if not self._done:
+            self.succeed(value)
+        return self
+
+    def fail(self, exc):
+        """Trigger the event with an exception."""
+        if self._done:
+            raise SimulationError("event triggered twice")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._done = True
+        self._ok = False
+        self._exc = exc
+        if not self._callbacks:
+            # Nobody is listening: surface the crash instead of losing it.
+            self.sim._report_crash(self, exc)
+        self._run_callbacks()
+        return self
+
+    def add_callback(self, fn):
+        """Run ``fn(event)`` when triggered (immediately if already done)."""
+        if self._done:
+            fn(self)
+        else:
+            self._callbacks.append(fn)
+
+    def _run_callbacks(self):
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+
+
+class AllOf(Event):
+    """Succeeds with a list of values once every child event has succeeded.
+
+    Fails as soon as any child fails (first failure wins).
+    """
+
+    __slots__ = ("_pending", "_values")
+
+    def __init__(self, sim, events):
+        super().__init__(sim)
+        events = list(events)
+        self._pending = len(events)
+        self._values = [None] * len(events)
+        if not events:
+            self.succeed([])
+            return
+        for i, ev in enumerate(events):
+            ev.add_callback(lambda ev, i=i: self._on_child(i, ev))
+
+    def _on_child(self, i, ev):
+        if self._done:
+            return
+        if not ev.ok:
+            self.fail(ev.exception)
+            return
+        self._values[i] = ev._value
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed(self._values)
+
+
+class AnyOf(Event):
+    """Succeeds with ``(index, value)`` of the first child that succeeds.
+
+    Fails only if *all* children fail (with the last failure).
+    """
+
+    __slots__ = ("_pending",)
+
+    def __init__(self, sim, events):
+        super().__init__(sim)
+        events = list(events)
+        if not events:
+            raise ValueError("AnyOf requires at least one event")
+        self._pending = len(events)
+        for i, ev in enumerate(events):
+            ev.add_callback(lambda ev, i=i: self._on_child(i, ev))
+
+    def _on_child(self, i, ev):
+        if self._done:
+            return
+        if ev.ok:
+            self.succeed((i, ev._value))
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.fail(ev.exception)

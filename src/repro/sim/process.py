@@ -1,0 +1,102 @@
+"""Generator-based simulation processes.
+
+A process wraps a generator that yields *waitables*:
+
+* an :class:`~repro.sim.events.Event` (including other processes),
+* a plain number, shorthand for ``sim.timeout(number)``.
+
+The process itself is an event that succeeds with the generator's return
+value, so processes compose (``yield other_process``).
+"""
+
+from repro.sim.events import Event
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process(Event):
+    """Drives a generator coroutine inside the simulator."""
+
+    __slots__ = ("_gen", "_waiting_on")
+
+    def __init__(self, sim, gen):
+        super().__init__(sim)
+        self._gen = gen
+        self._waiting_on = None
+        # First step runs asynchronously at the current time so that the
+        # creator can register callbacks before any code executes.
+        sim.schedule(0.0, self._step, None, None)
+
+    def interrupt(self, cause=None):
+        """Throw :class:`Interrupt` into the process at its current yield."""
+        if self._done:
+            return
+        waited = self._waiting_on
+        self._waiting_on = None
+        if waited is not None:
+            # Detach: the old target may still trigger later; ignore it.
+            waited._detach(self)
+        self.sim.schedule(0.0, self._step, None, Interrupt(cause))
+
+    # -- internal ----------------------------------------------------------
+    def _step(self, value, exc):
+        if self._done:
+            return
+        try:
+            if exc is not None:
+                target = self._gen.throw(exc)
+            else:
+                target = self._gen.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt as intr:
+            self.fail(intr)
+            return
+        except Exception as err:
+            self.fail(err)
+            return
+        try:
+            target = self._as_event(target)
+        except TypeError as err:
+            self._gen.close()
+            self.fail(err)
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+    def _resume(self, event):
+        if self._waiting_on is not event:
+            return  # stale wake-up after an interrupt
+        self._waiting_on = None
+        if event.ok:
+            self._step(event._value, None)
+        else:
+            self.sim.defuse(event)
+            self._step(None, event.exception)
+
+    def _as_event(self, target):
+        if isinstance(target, Event):
+            return target
+        if isinstance(target, (int, float)):
+            return self.sim.timeout(target)
+        raise TypeError(f"process yielded non-waitable {target!r}")
+
+
+def _event_detach(self, process):
+    """Remove a process resume callback (helper injected onto Event)."""
+    self._callbacks = [
+        cb for cb in self._callbacks
+        if getattr(cb, "__self__", None) is not process
+    ]
+
+
+# Event needs a detach hook for Process.interrupt; define it here to keep
+# events.py free of process knowledge.
+Event._detach = _event_detach

@@ -1,0 +1,46 @@
+"""Countable resources for processes (CPU slots, connection pools)."""
+
+from collections import deque
+
+
+class Semaphore:
+    """A counting semaphore: ``yield sem.acquire()`` then ``sem.release()``.
+
+    Used to model the bounded CPU of a node (paper §7.5: 12 hedge-doubled
+    MongoDB threads contending for 8 hardware threads).
+    """
+
+    def __init__(self, sim, slots):
+        if slots <= 0:
+            raise ValueError("semaphore needs at least one slot")
+        self.sim = sim
+        self.slots = slots
+        self._in_use = 0
+        self._waiters = deque()
+
+    @property
+    def in_use(self):
+        return self._in_use
+
+    @property
+    def queued(self):
+        return len(self._waiters)
+
+    def acquire(self):
+        """An event that succeeds once a slot is held."""
+        ev = self.sim.event()
+        if self._in_use < self.slots:
+            self._in_use += 1
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self):
+        if self._in_use <= 0:
+            raise RuntimeError("release without acquire")
+        if self._waiters:
+            ev = self._waiters.popleft()
+            ev.succeed()  # slot transfers to the waiter
+        else:
+            self._in_use -= 1

@@ -1,0 +1,75 @@
+"""Workload characterization: verify a trace has the shape it claims.
+
+The accuracy experiments (§7.6) depend on the five synthetic trace
+families actually differing in rate, read/write mix, size distribution,
+spatial locality, and burstiness.  :func:`characterize` measures those
+properties from a generated trace so tests (and users inspecting their own
+traces) can check them — the same sanity pass one would run on the real
+SNIA downloads.
+"""
+
+import statistics
+
+from repro._units import SEC
+from repro.devices.request import IoOp
+
+
+class TraceProfile:
+    """Measured properties of a block trace."""
+
+    __slots__ = ("n_ios", "duration_us", "iops", "read_fraction",
+                 "mean_size", "size_histogram", "hot_fraction",
+                 "sequential_fraction", "interarrival_cv")
+
+    def __init__(self, **kw):
+        for name in self.__slots__:
+            setattr(self, name, kw[name])
+
+    def as_row(self):
+        return [self.n_ios, round(self.iops, 1),
+                round(self.read_fraction, 3), int(self.mean_size),
+                round(self.hot_fraction, 3),
+                round(self.sequential_fraction, 3),
+                round(self.interarrival_cv, 2)]
+
+    ROW_HEADERS = ["ios", "iops", "read_frac", "mean_size", "hot_frac",
+                   "seq_frac", "arrival_cv"]
+
+
+def characterize(records, span_bytes, hot_span_fraction=0.05):
+    """Measure a trace's rate/mix/size/locality/burstiness properties."""
+    if not records:
+        raise ValueError("empty trace")
+    duration = max(records[-1].time, 1.0)
+    reads = sum(1 for r in records if r.op is IoOp.READ)
+    sizes = [r.size for r in records]
+    hot_limit = span_bytes * hot_span_fraction
+    hot = sum(1 for r in records if r.offset < hot_limit)
+    sequential = 0
+    last_end = None
+    for r in records:
+        if last_end is not None and r.offset == last_end:
+            sequential += 1
+        last_end = r.offset + r.size
+
+    gaps = [b.time - a.time for a, b in zip(records, records[1:])]
+    if len(gaps) >= 2 and statistics.mean(gaps) > 0:
+        cv = statistics.stdev(gaps) / statistics.mean(gaps)
+    else:
+        cv = 0.0
+
+    histogram = {}
+    for size in sizes:
+        histogram[size] = histogram.get(size, 0) + 1
+
+    return TraceProfile(
+        n_ios=len(records),
+        duration_us=duration,
+        iops=len(records) / (duration / SEC),
+        read_fraction=reads / len(records),
+        mean_size=sum(sizes) / len(sizes),
+        size_histogram=histogram,
+        hot_fraction=hot / len(records),
+        sequential_fraction=sequential / len(records),
+        interarrival_cv=cv,
+    )

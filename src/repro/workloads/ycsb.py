@@ -1,0 +1,61 @@
+"""YCSB-like closed-loop clients issuing 1 KB get() operations (§7).
+
+A client repeatedly issues one *user request* and waits for it to complete:
+with scale factor S (§7.3), a user request is S parallel get()s to different
+keys and completes when *all* S sub-requests have (tail amplified by scale).
+Latencies recorded are client-observed, like all the paper's latency graphs.
+"""
+
+from repro.errors import EBUSY, EIO
+from repro.metrics.latency import LatencyRecorder
+
+
+class YcsbClient:
+    """One closed-loop client bound to a strategy."""
+
+    def __init__(self, sim, strategy, keydist, recorder, n_ops,
+                 scale_factor=1, think_time_us=1000.0):
+        self.sim = sim
+        self.strategy = strategy
+        self.keydist = keydist
+        self.recorder = recorder
+        self.n_ops = n_ops
+        self.scale_factor = scale_factor
+        self.think_time_us = think_time_us
+
+    def run(self):
+        """Start the client; returns its process event."""
+        return self.sim.process(self._loop())
+
+    def _loop(self):
+        for _ in range(self.n_ops):
+            keys = {self.keydist.next_key() for _ in range(self.scale_factor)}
+            start = self.sim.now
+            results = yield self.sim.all_of(
+                [self.strategy.get(key) for key in keys])
+            self.recorder.add(self.sim.now - start)
+            for result in results:
+                if result is EIO:
+                    self.recorder.count("eio")
+                elif result is EBUSY:
+                    self.recorder.count("ebusy_leak")
+            if self.think_time_us:
+                yield self.think_time_us
+        return len(self.recorder)
+
+
+def run_ycsb(sim, make_strategy, keydists, n_clients, n_ops, scale_factor=1,
+             think_time_us=1000.0, name=""):
+    """Launch ``n_clients`` clients; returns (recorder, [client processes]).
+
+    ``make_strategy(client_index)`` builds the per-client strategy (clients
+    may share one strategy instance — they are processes, not threads).
+    ``keydists`` is one key picker per client.
+    """
+    recorder = LatencyRecorder(name)
+    processes = []
+    for i in range(n_clients):
+        client = YcsbClient(sim, make_strategy(i), keydists[i], recorder,
+                            n_ops, scale_factor, think_time_us)
+        processes.append(client.run())
+    return recorder, processes

@@ -1,0 +1,23 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import pytest
+
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    """A fresh deterministic simulator."""
+    return Simulator(seed=42)
+
+
+def run_process(sim, gen):
+    """Run a generator to completion and return its value."""
+    proc = sim.process(gen)
+    sim.run()
+    assert proc.triggered, "process did not finish"
+    return proc.value
+
+
+def drain(sim, until=None):
+    sim.run(until=until)

@@ -1,0 +1,84 @@
+"""Tests of FP/FN accuracy accounting (§7.6)."""
+
+from repro.devices.request import BlockRequest, IoOp
+from repro.mittos import AccuracyTracker
+
+
+def _completed_req(submit, deadline, complete, rejected,
+                   predicted=(0.0, 0.0)):
+    req = BlockRequest(IoOp.READ, 0, 4096)
+    req.submit_time = submit
+    req.abs_deadline = submit + deadline
+    req.predicted_wait, req.predicted_service = predicted
+    tracker_input = req
+    tracker_input.tag["accuracy_rejected"] = rejected
+    req.complete_time = complete
+    return req
+
+
+def test_true_positive_counts_correct():
+    tracker = AccuracyTracker()
+    req = _completed_req(0.0, 100.0, 500.0, rejected=True)
+    tracker.observe_completion(req)
+    assert tracker.correct == 1
+    assert tracker.inaccuracy == 0.0
+
+
+def test_false_positive():
+    tracker = AccuracyTracker()
+    req = _completed_req(0.0, 100.0, 50.0, rejected=True,
+                         predicted=(200.0, 100.0))
+    tracker.observe_completion(req)
+    assert tracker.false_positives == 1
+    assert tracker.fp_rate == 1.0
+    # diff recorded: |50 - (0 + 200 + 100)| = 250
+    assert tracker.error_diffs == [250.0]
+
+
+def test_false_negative():
+    tracker = AccuracyTracker()
+    req = _completed_req(0.0, 100.0, 500.0, rejected=False,
+                         predicted=(10.0, 20.0))
+    tracker.observe_completion(req)
+    assert tracker.false_negatives == 1
+    assert tracker.fn_rate == 1.0
+
+
+def test_ignores_requests_without_deadline():
+    tracker = AccuracyTracker()
+    req = BlockRequest(IoOp.READ, 0, 4096)
+    req.tag["accuracy_rejected"] = False
+    req.submit_time, req.complete_time = 0.0, 10.0
+    tracker.observe_completion(req)
+    assert tracker.total == 0
+
+
+def test_ignores_cancelled_requests():
+    tracker = AccuracyTracker()
+    req = _completed_req(0.0, 100.0, 500.0, rejected=True)
+    req.cancelled = True
+    tracker.observe_completion(req)
+    assert tracker.total == 0
+
+
+def test_summary_and_diff_stats():
+    tracker = AccuracyTracker()
+    tracker.observe_completion(
+        _completed_req(0.0, 100.0, 50.0, True, predicted=(150.0, 50.0)))
+    tracker.observe_completion(
+        _completed_req(0.0, 100.0, 150.0, False, predicted=(10.0, 20.0)))
+    tracker.observe_completion(
+        _completed_req(0.0, 100.0, 80.0, False))
+    summary = tracker.summary()
+    assert summary["total"] == 3
+    assert summary["fp_rate"] == 1 / 3
+    assert summary["fn_rate"] == 1 / 3
+    assert tracker.mean_diff_us() > 0
+    assert tracker.max_diff_us() >= tracker.mean_diff_us()
+
+
+def test_rates_zero_when_empty():
+    tracker = AccuracyTracker()
+    assert tracker.fp_rate == 0.0
+    assert tracker.fn_rate == 0.0
+    assert tracker.mean_diff_us() == 0.0

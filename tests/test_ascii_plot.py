@@ -1,0 +1,50 @@
+"""Tests of the terminal CDF plotter."""
+
+import pytest
+
+from repro._units import MS
+from repro.metrics.ascii_plot import ascii_cdf
+from repro.metrics.latency import LatencyRecorder
+
+
+def _rec(name, values_ms):
+    rec = LatencyRecorder(name)
+    for v in values_ms:
+        rec.add(v * MS)
+    return rec
+
+
+def test_empty_input_rejected():
+    with pytest.raises(ValueError):
+        ascii_cdf([])
+
+
+def test_plot_contains_markers_axis_and_legend():
+    fast = _rec("fast", [1.0] * 50 + [2.0] * 50)
+    slow = _rec("slow", [5.0] * 50 + [40.0] * 50)
+    out = ascii_cdf([fast, slow], title="Figure X")
+    assert out.startswith("Figure X")
+    assert "*=fast" in out and "o=slow" in out
+    assert "p100.0" in out or "p 99" in out or "p100" in out
+    assert "ms" in out
+
+
+def test_faster_line_sits_left_of_slower():
+    fast = _rec("fast", [1.0] * 100)
+    slow = _rec("slow", [30.0] * 100)
+    out = ascii_cdf([fast, slow])
+    for line in out.splitlines():
+        if "*" in line and "o" in line and "|" in line:
+            assert line.index("*") < line.index("o")
+
+
+def test_y_min_clips_the_body():
+    rec = _rec("r", list(range(1, 101)))
+    out = ascii_cdf([rec], y_min=0.9)
+    assert "p 90" in out.replace("p 90.0", "p 90") or "p 90.0" in out
+
+
+def test_x_max_clips_outliers():
+    rec = _rec("r", [1.0] * 99 + [1000.0])
+    out = ascii_cdf([rec], x_max=10.0)
+    assert "10.0" in out

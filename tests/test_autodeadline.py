@@ -1,0 +1,93 @@
+"""Tests of the automatic deadline controller (§8.1)."""
+
+import pytest
+
+from repro._units import KB, MS, SEC
+from repro.mittos.autodeadline import DeadlineController
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        DeadlineController(0)
+    with pytest.raises(ValueError):
+        DeadlineController(1000, target_rate=0)
+    with pytest.raises(ValueError):
+        DeadlineController(1000, step=1.0)
+
+
+def test_no_adjustment_before_window_fills():
+    ctl = DeadlineController(10 * MS, window=50)
+    for _ in range(49):
+        ctl.record(True)
+    assert ctl.deadline_us == 10 * MS
+    assert ctl.adjustments == []
+
+
+def test_too_many_ebusy_relaxes_deadline():
+    ctl = DeadlineController(10 * MS, target_rate=0.05, window=100)
+    for _ in range(100):
+        ctl.record(True)  # 100% EBUSY
+    assert ctl.deadline_us > 10 * MS
+
+
+def test_rare_ebusy_tightens_deadline():
+    ctl = DeadlineController(10 * MS, target_rate=0.05, window=100)
+    for _ in range(100):
+        ctl.record(False)  # 0% EBUSY
+    assert ctl.deadline_us < 10 * MS
+
+
+def test_in_band_rate_is_left_alone():
+    ctl = DeadlineController(10 * MS, target_rate=0.05, band=0.5,
+                             window=100)
+    for i in range(100):
+        ctl.record(i < 5)  # exactly 5%
+    assert ctl.deadline_us == 10 * MS
+
+
+def test_bounds_are_respected():
+    ctl = DeadlineController(1 * MS, window=10, min_us=500.0,
+                             max_us=2 * MS)
+    for _ in range(200):
+        ctl.record(True)
+    assert ctl.deadline_us == 2 * MS
+    for _ in range(200):
+        ctl.record(False)
+    assert ctl.deadline_us == 500.0
+
+
+def test_converges_on_a_synthetic_plant():
+    """Deadline converges to where the plant's EBUSY rate ~= target.
+
+    The plant: requests are EBUSY when the deadline is below their
+    'required' latency, drawn from a fixed distribution whose p95 is
+    20 ms — the controller should settle near that.
+    """
+    import random
+    rng = random.Random(1)
+    ctl = DeadlineController(2 * MS, target_rate=0.05, band=0.4,
+                             window=200, step=1.15)
+    for _ in range(20_000):
+        required = rng.gauss(10 * MS, 5 * MS)
+        ctl.record(required > ctl.deadline_us)
+    # p95 of N(10ms, 5ms) ~ 18.2 ms; allow a generous band.
+    assert 12 * MS < ctl.deadline_us < 30 * MS
+
+
+def test_controller_drives_the_mittos_strategy(sim):
+    """End to end: the strategy reads the controller's live deadline."""
+    from repro.experiments.common import build_disk_cluster, make_strategy
+    from repro.experiments.common import run_clients
+    env = build_disk_cluster(sim, 6)
+    env.injectors[0].disk_read_threads(n_threads=4, size=256 * KB,
+                                       until_us=60 * SEC)
+    ctl = DeadlineController(2 * MS, target_rate=0.05, window=50)
+    strategy = make_strategy("mittos", env.cluster, deadline_us=None,
+                             controller=ctl)
+    rec = run_clients(env, strategy, 4, 150, think_time_us=2 * MS,
+                      limit_us=60 * SEC)
+    # The initial 2 ms deadline is absurdly strict for a disk: the
+    # controller must have relaxed it.
+    assert ctl.deadline_us > 2 * MS
+    assert len(ctl.adjustments) >= 1
+    assert len(rec) == 600

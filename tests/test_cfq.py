@@ -1,0 +1,142 @@
+"""Tests of the CFQ scheduler."""
+
+from repro._units import GB, KB
+from repro.devices import BlockRequest, Disk, DiskParams, IoClass, IoOp
+from repro.kernel import CfqScheduler
+from repro.kernel.cfq import priority_quantum
+
+
+def _quiet_disk(sim, depth=1):
+    return Disk(sim, DiskParams(jitter_frac=0.0, hiccup_prob=0.0,
+                                queue_depth=depth))
+
+
+def _req(offset, pid=1, ioclass=IoClass.BE, priority=4):
+    return BlockRequest(IoOp.READ, offset, 4 * KB, pid=pid,
+                        ioclass=ioclass, priority=priority)
+
+
+def _tracked(sched, reqs):
+    order = []
+    for i, req in enumerate(reqs):
+        req.add_callback(lambda r, i=i: order.append(i))
+        sched.submit(req)
+    return order
+
+
+def test_priority_quantum_monotone():
+    quanta = [priority_quantum(p) for p in range(8)]
+    assert quanta == sorted(quanta, reverse=True)
+    assert quanta[0] > quanta[7] >= 1
+
+
+def test_realtime_class_served_first(sim):
+    disk = _quiet_disk(sim)
+    sched = CfqScheduler(sim, disk)
+    # Fill the device so everything below queues.
+    sched.submit(_req(0))
+    be = _req(1 * GB, pid=1, ioclass=IoClass.BE)
+    rt = _req(2 * GB, pid=2, ioclass=IoClass.RT)
+    idle = _req(3 * GB, pid=3, ioclass=IoClass.IDLE)
+    order = _tracked(sched, [idle, be, rt])
+    sim.run()
+    assert order == [2, 1, 0]  # RT, then BE, then Idle
+
+
+def test_process_queue_sorted_by_offset(sim):
+    disk = _quiet_disk(sim)
+    sched = CfqScheduler(sim, disk)
+    sched.submit(_req(0))
+    reqs = [_req(5 * GB), _req(1 * GB), _req(3 * GB)]
+    order = _tracked(sched, reqs)
+    sim.run()
+    assert order == [1, 2, 0]
+
+
+def test_round_robin_across_processes(sim):
+    disk = _quiet_disk(sim)
+    sched = CfqScheduler(sim, disk)
+    sched.submit(_req(0))
+    # Two processes with equal priority: quanta alternate fairly.
+    quantum = priority_quantum(4)
+    reqs = []
+    for pid in (1, 2):
+        for k in range(quantum + 1):
+            reqs.append(_req((10 * pid + k) * GB, pid=pid))
+    completions = []
+    for req in reqs:
+        req.add_callback(lambda r: completions.append(r.pid))
+        sched.submit(req)
+    sim.run()
+    # First `quantum` completions come from pid 1, then pid 2 gets a turn.
+    assert completions[:quantum] == [1] * quantum
+    assert 2 in completions[quantum:quantum + priority_quantum(4) + 1]
+
+
+def test_requests_ahead_of_counts_cfq_policy(sim):
+    disk = _quiet_disk(sim)
+    sched = CfqScheduler(sim, disk)
+    sched.submit(_req(0))
+    rt = _req(1 * GB, pid=9, ioclass=IoClass.RT)
+    own_before = _req(2 * GB, pid=1)
+    own_after = _req(9 * GB, pid=1)
+    other = _req(3 * GB, pid=2)
+    for req in (rt, own_before, own_after, other):
+        sched.submit(req)
+    probe = _req(5 * GB, pid=1)
+    ahead = sched.requests_ahead_of(probe)
+    assert rt in ahead          # higher class
+    assert own_before in ahead  # smaller offset, same node
+    assert own_after not in ahead
+    assert other in ahead       # other node already in the rotation
+
+
+def test_process_count(sim):
+    disk = _quiet_disk(sim)
+    sched = CfqScheduler(sim, disk)
+    sched.submit(_req(0))
+    for pid in (1, 2, 3):
+        sched.submit(_req(pid * GB, pid=pid))
+    assert sched.process_count() == 3
+
+
+def test_cancel_removes_from_node(sim):
+    disk = _quiet_disk(sim)
+    sched = CfqScheduler(sim, disk)
+    sched.submit(_req(0))
+    victim = _req(1 * GB, pid=1)
+    keeper = _req(2 * GB, pid=1)
+    sched.submit(victim)
+    sched.submit(keeper)
+    assert sched.cancel(victim) is True
+    sim.run()
+    assert victim.cancelled
+    assert keeper.complete_time is not None
+    assert disk.completed == 2
+
+
+def test_empty_node_removed_from_tree(sim):
+    disk = _quiet_disk(sim)
+    sched = CfqScheduler(sim, disk)
+    sched.submit(_req(0))
+    req = _req(1 * GB, pid=5)
+    sched.submit(req)
+    sim.run()
+    assert sched.process_count() == 0
+    assert sched.queued == 0
+
+
+def test_idle_class_starves_behind_best_effort(sim):
+    disk = _quiet_disk(sim)
+    sched = CfqScheduler(sim, disk)
+    sched.submit(_req(0))
+    idle = _req(1 * GB, pid=8, ioclass=IoClass.IDLE)
+    completions = []
+    idle.add_callback(lambda r: completions.append("idle"))
+    sched.submit(idle)
+    for k in range(4):
+        req = _req((2 + k) * GB, pid=1)
+        req.add_callback(lambda r: completions.append("be"))
+        sched.submit(req)
+    sim.run()
+    assert completions[-1] == "idle"

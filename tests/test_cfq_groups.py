@@ -1,0 +1,125 @@
+"""Tests of CFQ cgroup support (weighted group time slices)."""
+
+from repro._units import GB, KB
+from repro.devices import BlockRequest, Disk, DiskParams, IoClass, IoOp
+from repro.kernel import CfqScheduler
+from repro.kernel.cfq import group_quantum
+
+
+def _quiet_disk(sim, depth=1):
+    return Disk(sim, DiskParams(jitter_frac=0.0, hiccup_prob=0.0,
+                                queue_depth=depth))
+
+
+def _req(offset, pid=1, cgroup=0, ioclass=IoClass.BE, priority=4):
+    req = BlockRequest(IoOp.READ, offset, 4 * KB, pid=pid,
+                       ioclass=ioclass, priority=priority)
+    req.tag["cgroup"] = cgroup
+    return req
+
+
+def test_group_quantum_scales_with_weight():
+    assert group_quantum(2.0) == 2 * group_quantum(1.0)
+    assert group_quantum(0.01) >= 1
+
+
+def test_single_group_behaviour_unchanged(sim):
+    """Default (all requests in group 0) must behave like classic CFQ."""
+    disk = _quiet_disk(sim)
+    sched = CfqScheduler(sim, disk)
+    sched.submit(_req(0))
+    order = []
+    for i, offset in enumerate((5 * GB, 1 * GB, 3 * GB)):
+        req = _req(offset)
+        req.add_callback(lambda r, i=i: order.append(i))
+        sched.submit(req)
+    sim.run()
+    assert order == [1, 2, 0]  # offset-sorted within the node
+
+
+def test_groups_share_proportionally_to_weight(sim):
+    disk = _quiet_disk(sim)
+    sched = CfqScheduler(sim, disk, group_weights={1: 2.0, 2: 1.0})
+    sched.submit(_req(0))
+    completions = []
+    for g in (1, 2):
+        for k in range(group_quantum(2.0) + 2):
+            req = _req((10 * g + k) * GB, pid=g, cgroup=g)
+            req.add_callback(lambda r: completions.append(
+                r.tag["cgroup"]))
+            sched.submit(req)
+    sim.run()
+    # First full turn: the weight-2 group dispatches twice the quantum of
+    # the weight-1 group.
+    q1, q2 = group_quantum(2.0), group_quantum(1.0)
+    assert completions[:q1] == [1] * q1
+    assert completions[q1:q1 + q2] == [2] * q2
+
+
+def test_rt_priority_is_within_group_not_global(sim):
+    """An RT IO jumps its own group's queue, not other groups' turns."""
+    disk = _quiet_disk(sim)
+    sched = CfqScheduler(sim, disk)
+    sched.submit(_req(0))
+    order = []
+    be_own = _req(1 * GB, pid=1, cgroup=1, ioclass=IoClass.BE)
+    rt_own = _req(2 * GB, pid=2, cgroup=1, ioclass=IoClass.RT)
+    for tag, req in (("be", be_own), ("rt", rt_own)):
+        req.add_callback(lambda r, tag=tag: order.append(tag))
+        sched.submit(req)
+    sim.run()
+    assert order == ["rt", "be"]
+
+
+def test_weight_update_takes_effect(sim):
+    disk = _quiet_disk(sim)
+    sched = CfqScheduler(sim, disk)
+    sched.set_group_weight(5, 3.0)
+    sched.submit(_req(0))
+    req = _req(1 * GB, cgroup=5)
+    sched.submit(req)
+    assert sched._groups[5].weight == 3.0
+
+
+def test_requests_ahead_of_counts_other_groups_share(sim):
+    disk = _quiet_disk(sim)
+    sched = CfqScheduler(sim, disk, group_weights={9: 1.0})
+    sched.submit(_req(0))
+    # Flood group 9 with many IOs; a probe in group 0 only waits for one
+    # group-turn's worth of them per rotation.
+    for k in range(20):
+        sched.submit(_req((k + 1) * GB, pid=9, cgroup=9))
+    probe = _req(500 * GB, pid=1, cgroup=0)
+    ahead = sched.requests_ahead_of(probe)
+    assert 0 < len(ahead) <= group_quantum(1.0)
+
+
+def test_group_cleanup_when_drained(sim):
+    disk = _quiet_disk(sim)
+    sched = CfqScheduler(sim, disk)
+    sched.submit(_req(0))
+    sched.submit(_req(1 * GB, cgroup=7))
+    sim.run()
+    assert 7 not in sched._groups
+    assert sched.queued == 0
+
+
+def test_cancel_across_groups(sim):
+    disk = _quiet_disk(sim)
+    sched = CfqScheduler(sim, disk)
+    sched.submit(_req(0))
+    victim = _req(1 * GB, cgroup=3)
+    sched.submit(victim)
+    assert sched.cancel(victim) is True
+    sim.run()
+    assert victim.cancelled
+    assert disk.completed == 1
+
+
+def test_process_count_spans_groups(sim):
+    disk = _quiet_disk(sim)
+    sched = CfqScheduler(sim, disk)
+    sched.submit(_req(0))
+    sched.submit(_req(1 * GB, pid=1, cgroup=1))
+    sched.submit(_req(2 * GB, pid=2, cgroup=2))
+    assert sched.process_count() == 2

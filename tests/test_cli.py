@@ -1,0 +1,43 @@
+"""Tests of the experiments CLI."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+def test_list_prints_all_ids(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for exp_id in ("table1", "fig5", "fig13", "writes"):
+        assert exp_id in out
+
+
+def test_unknown_experiment_raises():
+    with pytest.raises(KeyError):
+        main(["fig99"])
+
+
+def test_runs_a_cheap_experiment(capsys):
+    assert main(["writes", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "writes" in out
+    assert "NoNoise" in out
+
+
+def test_plot_flag(capsys):
+    assert main(["fig5", "--seed", "3", "--plot"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 5a" in out
+    assert "*=base" in out  # the ASCII plot legend
+
+
+def test_json_export(tmp_path, capsys):
+    import json
+    out = tmp_path / "results.jsonl"
+    assert main(["writes", "--seed", "3", "--json", str(out)]) == 0
+    capsys.readouterr()
+    lines = out.read_text().splitlines()
+    assert len(lines) == 1
+    payload = json.loads(lines[0])
+    assert payload["experiment"] == "writes"
+    assert payload["tables"][0]["headers"][0] == "line"

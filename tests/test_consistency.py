@@ -1,0 +1,118 @@
+"""Tests of the §8.3 consistency discussion: fast failover vs staleness."""
+
+from repro._units import MS, SEC
+from repro.cluster.consistency import (Session, StalenessGuard,
+                                       VersionedData,
+                                       mittos_get_with_guard)
+from repro.experiments.common import build_disk_cluster
+
+
+def _world(sim, lag_us=50 * MS):
+    env = build_disk_cluster(sim, 3, replication=3)
+    data = VersionedData(sim, env.cluster, replication_lag_us=lag_us)
+    return env, data
+
+
+def test_write_applies_at_primary_immediately(sim):
+    env, data = _world(sim)
+    replicas = env.cluster.replicas_for(1)
+    data.write(1)
+    assert data.version(replicas[0], 1) == 1
+    assert data.version(replicas[1], 1) == 0  # lag not elapsed
+
+
+def test_replicas_catch_up_after_lag(sim):
+    env, data = _world(sim, lag_us=10 * MS)
+    replicas = env.cluster.replicas_for(1)
+    data.write(1)
+    sim.run(until=20 * MS)
+    assert all(data.version(n, 1) == 1 for n in replicas)
+
+
+def test_out_of_order_replication_keeps_max_version(sim):
+    env, data = _world(sim, lag_us=10 * MS)
+    replicas = env.cluster.replicas_for(1)
+    data.write(1)
+    data.write(1)
+    sim.run()
+    assert all(data.version(n, 1) == 2 for n in replicas)
+
+
+def test_session_counts_regressions():
+    session = Session()
+    session.observe(1, 3)
+    session.observe(1, 2)   # regression
+    session.observe(1, 4)
+    assert session.violations == 1
+    assert session.last_seen(1) == 4
+
+
+def test_guard_filters_stale_replicas(sim):
+    env, data = _world(sim)
+    replicas = env.cluster.replicas_for(1)
+    session = Session()
+    guard = StalenessGuard(data, session)
+    data.write(1)
+    session.observe(1, 1)   # read the new version from the primary
+    targets = guard.filter_failover_targets(1, replicas)
+    assert targets == [replicas[0]]  # replicas are stale, skipped
+    assert guard.skipped_stale == 2
+    sim.run()  # replication lag elapses
+    targets = guard.filter_failover_targets(1, replicas)
+    assert len(targets) == 3
+
+
+def test_unguarded_failover_can_violate_monotonic_reads(sim):
+    """The §8.3 scenario: EBUSY failover lands on a stale replica."""
+    env, data = _world(sim, lag_us=2 * SEC)
+    key = 1
+    replicas = env.cluster.replicas_for(key)
+    session = Session()
+    # The session reads version 1 from the primary...
+    data.write(key)
+    ev = mittos_get_with_guard(sim, env.cluster, data, session, key,
+                               deadline_us=15 * MS)
+    sim.run_until(ev, limit=10 * SEC)
+    assert ev.value == 1
+    # ...then the primary gets busy, and failover reads a stale replica.
+    env.injectors[replicas[0].node_id].busy_window(3 * SEC, concurrency=5)
+    sim.run(until=sim.now + 100 * MS)
+    ev = mittos_get_with_guard(sim, env.cluster, data, session, key,
+                               deadline_us=15 * MS)
+    sim.run_until(ev, limit=20 * SEC)
+    assert ev.value == 0  # older version!
+    assert session.violations == 1
+
+
+def test_guard_prevents_the_violation(sim):
+    env, data = _world(sim, lag_us=2 * SEC)
+    key = 1
+    replicas = env.cluster.replicas_for(key)
+    session = Session()
+    guard = StalenessGuard(data, session)
+    data.write(key)
+    ev = mittos_get_with_guard(sim, env.cluster, data, session, key,
+                               deadline_us=15 * MS, guard=guard)
+    sim.run_until(ev, limit=10 * SEC)
+    env.injectors[replicas[0].node_id].busy_window(3 * SEC, concurrency=5)
+    sim.run(until=sim.now + 100 * MS)
+    start = sim.now
+    ev = mittos_get_with_guard(sim, env.cluster, data, session, key,
+                               deadline_us=15 * MS, guard=guard)
+    sim.run_until(ev, limit=20 * SEC)
+    assert ev.value == 1          # never regressed...
+    assert session.violations == 0
+    assert sim.now - start > 15 * MS  # ...at the price of waiting
+
+
+def test_guard_costs_nothing_when_replicas_are_fresh(sim):
+    env, data = _world(sim, lag_us=1 * MS)
+    key = 1
+    session = Session()
+    guard = StalenessGuard(data, session)
+    data.write(key)
+    sim.run(until=10 * MS)
+    targets = guard.filter_failover_targets(
+        key, env.cluster.replicas_for(key))
+    assert len(targets) == 3
+    assert guard.skipped_stale == 0

@@ -1,0 +1,84 @@
+"""Tests of the EC2 millisecond-dynamism model (§6)."""
+
+import random
+
+import pytest
+
+from repro._units import SEC
+from repro.workloads import Ec2NoiseModel
+
+
+def test_unknown_preset_rejected():
+    with pytest.raises(ValueError):
+        Ec2NoiseModel("gpu")
+
+
+def test_presets_exist_for_three_resources():
+    for resource in ("disk", "ssd", "cache"):
+        model = Ec2NoiseModel(resource)
+        assert 0 < model.busy_fraction < 0.1
+        assert model.mean_duration_us < 1 * SEC  # sub-second episodes
+
+
+def test_override_parameters():
+    model = Ec2NoiseModel("disk", busy_fraction=0.1)
+    assert model.busy_fraction == 0.1
+
+
+def test_busy_fraction_approximately_respected():
+    model = Ec2NoiseModel("disk")
+    rng = random.Random(5)
+    horizon = 3600 * SEC
+    episodes = model.episodes(rng, horizon)
+    busy = sum(ep.duration for ep in episodes)
+    assert busy / horizon == pytest.approx(model.busy_fraction, rel=0.35)
+
+
+def test_episodes_are_ordered_and_disjoint():
+    model = Ec2NoiseModel("disk")
+    episodes = model.episodes(random.Random(1), 600 * SEC)
+    for a, b in zip(episodes, episodes[1:]):
+        assert b.start >= a.start + a.duration
+
+
+def test_durations_are_sub_second_mostly():
+    model = Ec2NoiseModel("disk")
+    episodes = model.episodes(random.Random(2), 3600 * SEC)
+    subsecond = sum(1 for ep in episodes if ep.duration < 1 * SEC)
+    assert subsecond / len(episodes) > 0.7
+
+
+def test_interarrivals_are_bursty():
+    """Observation 2: irregular gaps, coefficient of variation > 1."""
+    import statistics
+    model = Ec2NoiseModel("disk")
+    episodes = model.episodes(random.Random(3), 3600 * SEC)
+    gaps = Ec2NoiseModel.interarrivals(episodes)
+    cv = statistics.stdev(gaps) / statistics.mean(gaps)
+    assert cv > 0.9
+
+
+def test_busy_simultaneity_diminishes():
+    """Observation 3: P(N busy) falls off fast; mostly 1-2 of 20 busy."""
+    model = Ec2NoiseModel("disk")
+    rng = random.Random(4)
+    schedules = model.schedules(rng, 20, 1800 * SEC)
+    probs = Ec2NoiseModel.busy_simultaneity(schedules, 1800 * SEC)
+    assert probs[0] > 0.4                     # usually nobody is busy
+    assert probs[1] > probs[2] > probs[3]     # diminishing
+    assert 0.1 < probs[1] < 0.45
+    assert sum(probs[3:]) < 0.1
+
+
+def test_intensity_at_least_two():
+    model = Ec2NoiseModel("disk")
+    episodes = model.episodes(random.Random(6), 3600 * SEC)
+    assert all(ep.intensity >= 2 for ep in episodes)
+    assert max(ep.intensity for ep in episodes) <= 8
+
+
+def test_schedules_are_independent_per_node():
+    model = Ec2NoiseModel("disk")
+    schedules = model.schedules(random.Random(7), 5, 600 * SEC)
+    starts = [tuple(ep.start for ep in s) for s in schedules]
+    assert len(set(starts)) == 5

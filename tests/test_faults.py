@@ -1,0 +1,42 @@
+"""Tests of error injection (§7.7)."""
+
+import random
+
+import pytest
+
+from repro.mittos import FaultInjector
+
+
+def test_rates_validated():
+    with pytest.raises(ValueError):
+        FaultInjector(random.Random(1), false_negative_rate=1.5)
+
+
+def test_no_rates_is_identity():
+    inj = FaultInjector(random.Random(1))
+    assert inj.apply(True) is True
+    assert inj.apply(False) is False
+
+
+def test_full_false_negative_lets_everything_through():
+    inj = FaultInjector(random.Random(1), false_negative_rate=1.0)
+    assert all(inj.apply(False) for _ in range(100))
+    assert inj.injected_fn == 100
+
+
+def test_full_false_positive_rejects_everything():
+    inj = FaultInjector(random.Random(1), false_positive_rate=1.0)
+    assert not any(inj.apply(True) for _ in range(100))
+    assert inj.injected_fp == 100
+
+
+def test_partial_rates_are_approximate():
+    inj = FaultInjector(random.Random(1), false_positive_rate=0.2)
+    flips = sum(0 if inj.apply(True) else 1 for _ in range(5000))
+    assert 800 < flips < 1200
+
+
+def test_fn_rate_does_not_touch_accepts():
+    inj = FaultInjector(random.Random(1), false_negative_rate=1.0)
+    assert all(inj.apply(True) for _ in range(100))
+    assert inj.injected_fn == 0

@@ -1,0 +1,54 @@
+"""Tests of the macrobenchmark noise generators (§7.8.1)."""
+
+import random
+
+import pytest
+
+from repro._units import GB, MB, SEC
+from repro.experiments.common import build_disk_cluster
+from repro.workloads.filebench import personalities, run_filebench
+from repro.workloads.hadoop import generate_jobs, run_jobs
+
+
+def test_three_personalities():
+    assert personalities() == ["fileserver", "varmail", "webserver"]
+
+
+def test_unknown_personality_rejected(sim):
+    env = build_disk_cluster(sim, 1, replication=1)
+    with pytest.raises(ValueError):
+        run_filebench(sim, env.nodes[0].os, "database", 10 * GB, 1 * SEC)
+
+
+@pytest.mark.parametrize("personality", ["fileserver", "varmail",
+                                         "webserver"])
+def test_personality_issues_io(sim, personality):
+    env = build_disk_cluster(sim, 1, replication=1)
+    node = env.nodes[0]
+    procs = run_filebench(sim, node.os, personality, 10 * GB,
+                          until_us=2 * SEC)
+    sim.run()
+    assert all(p.triggered for p in procs)
+    assert node.os.device.completed > 0
+
+
+def test_generate_jobs_heavy_tailed():
+    jobs = generate_jobs(random.Random(1), n_jobs=50)
+    sizes = sorted(j.input_bytes for j in jobs)
+    assert len(jobs) == 50
+    assert sizes[-1] > 5 * sizes[len(sizes) // 2]  # heavy tail
+    arrivals = [j.arrival_us for j in jobs]
+    assert arrivals == sorted(arrivals)
+    assert all(j.output_bytes <= j.input_bytes for j in jobs)
+
+
+def test_run_jobs_completes(sim):
+    env = build_disk_cluster(sim, 1, replication=1)
+    node = env.nodes[0]
+    jobs = generate_jobs(random.Random(2), n_jobs=3,
+                         mean_gap_us=0.2 * SEC,
+                         median_input_bytes=2 * MB)
+    driver = run_jobs(sim, node.os, jobs, 10 * GB)
+    sim.run()
+    assert driver.value == 3
+    assert node.os.device.completed >= 3

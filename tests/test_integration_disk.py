@@ -1,0 +1,49 @@
+"""Integration: the full disk path cuts tails end-to-end (§7.1 shape)."""
+
+from repro._units import KB, MS, SEC
+from repro.experiments.common import build_disk_cluster, make_strategy, \
+    run_clients
+from repro.sim import Simulator
+
+
+def _run(strategy_name, noisy, deadline=None, seed=11):
+    sim = Simulator(seed=seed)
+    env = build_disk_cluster(sim, 3)
+    env.cluster.primary_fn = lambda key: 0  # always hit the noisy node
+    if noisy:
+        env.injectors[0].disk_read_threads(n_threads=4, size=256 * KB,
+                                           priority=2,
+                                           until_us=120 * SEC)
+    strategy = make_strategy(strategy_name, env.cluster,
+                             deadline_us=deadline)
+    return run_clients(env, strategy, n_clients=3, n_ops=120,
+                       think_time_us=3 * MS, limit_us=120 * SEC)
+
+
+def test_noise_inflates_base_tail():
+    quiet = _run("base", noisy=False)
+    noisy = _run("base", noisy=True)
+    assert noisy.p(90) > 1.5 * quiet.p(90)
+
+
+def test_mittos_restores_nonoise_shape():
+    quiet = _run("base", noisy=False)
+    mitt = _run("mittos", noisy=True, deadline=20 * MS)
+    noisy = _run("base", noisy=True)
+    # MittOS under noise is close to NoNoise, far from noisy Base.
+    assert mitt.p(95) < quiet.p(95) * 1.5
+    assert mitt.p(95) < noisy.p(95) * 0.7
+
+
+def test_mittos_beats_hedged_at_tail():
+    deadline = _run("base", noisy=True).p(95) * MS
+    hedged = _run("hedged", noisy=True, deadline=deadline)
+    mitt = _run("mittos", noisy=True, deadline=deadline)
+    assert mitt.p(95) <= hedged.p(95)
+
+
+def test_no_request_is_lost():
+    rec = _run("mittos", noisy=True, deadline=20 * MS)
+    assert len(rec) == 3 * 120
+    assert rec.counters.get("eio", 0) == 0
+    assert rec.counters.get("ebusy_leak", 0) == 0

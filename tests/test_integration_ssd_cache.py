@@ -1,0 +1,54 @@
+"""Integration: SSD and cache paths cut tails end-to-end (§7.1 c/d)."""
+
+from repro._units import KB, MS, SEC
+from repro.experiments.common import (build_cache_cluster,
+                                      build_ssd_cluster, make_strategy,
+                                      run_clients)
+from repro.sim import Simulator
+
+
+def _run_ssd(strategy_name, noisy, deadline=None, seed=12):
+    sim = Simulator(seed=seed)
+    env = build_ssd_cluster(sim, 3, n_keys=3000)
+    env.cluster.primary_fn = lambda key: 0
+    if noisy:
+        env.injectors[0].ssd_write_threads(n_threads=2, size=256 * KB,
+                                           until_us=60 * SEC)
+        env.injectors[0].ssd_erase_noise(rate_per_sec=400,
+                                         until_us=60 * SEC)
+    strategy = make_strategy(strategy_name, env.cluster,
+                             deadline_us=deadline)
+    return run_clients(env, strategy, n_clients=3, n_ops=150,
+                       think_time_us=0.5 * MS, limit_us=60 * SEC)
+
+
+def test_ssd_noise_inflates_tail_and_mittssd_cuts_it():
+    quiet = _run_ssd("base", noisy=False)
+    noisy = _run_ssd("base", noisy=True)
+    mitt = _run_ssd("mittos", noisy=True, deadline=2 * MS)
+    assert noisy.p(95) > 2 * quiet.p(95)
+    assert mitt.p(95) < noisy.p(95)
+
+
+def _run_cache(strategy_name, noisy, deadline=None, seed=13):
+    sim = Simulator(seed=seed)
+    env = build_cache_cluster(sim, 3, n_keys=2000)
+    env.cluster.primary_fn = lambda key: 0
+    if noisy:
+        env.injectors[0].periodic_cache_eviction(fraction=0.2,
+                                                 period_us=300 * MS,
+                                                 until_us=60 * SEC)
+    strategy = make_strategy(strategy_name, env.cluster,
+                             deadline_us=deadline)
+    return run_clients(env, strategy, n_clients=3, n_ops=150,
+                       think_time_us=1 * MS, limit_us=60 * SEC)
+
+
+def test_cache_eviction_inflates_tail_and_mittcache_cuts_it():
+    quiet = _run_cache("base", noisy=False)
+    noisy = _run_cache("base", noisy=True)
+    mitt = _run_cache("mittos", noisy=True, deadline=0.5 * MS)
+    # ~20% misses: the Base p90 shows multi-ms page faults.
+    assert noisy.p(90) > 3 * quiet.p(90)
+    # MittCache keeps p90 within ~2 extra hops of the all-hit case.
+    assert mitt.p(90) < 2.0  # ms

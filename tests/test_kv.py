@@ -1,0 +1,50 @@
+"""Tests of KeySpace placement."""
+
+import pytest
+
+from repro._units import GB, KB
+from repro.engines import KeySpace
+from repro.engines.kv import _stable_hash
+
+
+def test_stable_hash_is_deterministic():
+    assert _stable_hash("x") == _stable_hash("x")
+    assert _stable_hash("x") != _stable_hash("y")
+
+
+def test_locate_is_deterministic_and_aligned():
+    ks = KeySpace(1000, value_size=1 * KB, span_bytes=10 * GB)
+    off1, size1 = ks.locate(42)
+    off2, size2 = ks.locate(42)
+    assert (off1, size1) == (off2, size2)
+    assert off1 % ks.align == 0
+    assert size1 == 1 * KB
+
+
+def test_locate_rejects_out_of_range():
+    ks = KeySpace(10)
+    with pytest.raises(KeyError):
+        ks.locate(10)
+    with pytest.raises(KeyError):
+        ks.locate(-1)
+
+
+def test_records_spread_across_span():
+    ks = KeySpace(2000, value_size=1 * KB, span_bytes=100 * GB)
+    offsets = [ks.locate(k)[0] for k in range(2000)]
+    assert max(offsets) > 50 * GB
+    assert min(offsets) < 10 * GB
+
+
+def test_span_must_fit_keys():
+    with pytest.raises(ValueError):
+        KeySpace(1000, span_bytes=100 * KB)
+
+
+def test_needs_at_least_one_key():
+    with pytest.raises(ValueError):
+        KeySpace(0)
+
+
+def test_total_bytes():
+    assert KeySpace(100, value_size=1 * KB).total_bytes() == 100 * KB

@@ -1,0 +1,92 @@
+"""Tests of latency recording and percentile math."""
+
+import pytest
+
+from repro._units import MS
+from repro.metrics.latency import LatencyRecorder, percentile
+
+
+def test_percentile_matches_numpy_linear():
+    import numpy as np
+    data = [5.0, 1.0, 9.0, 3.0, 7.0, 2.0, 8.0]
+    for p in (0, 10, 25, 50, 75, 90, 95, 99, 100):
+        assert percentile(data, p) == pytest.approx(np.percentile(data, p))
+
+
+def test_percentile_single_sample():
+    assert percentile([42.0], 95) == 42.0
+
+
+def test_percentile_empty_raises():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+
+
+def test_percentile_out_of_range_raises():
+    with pytest.raises(ValueError):
+        percentile([1.0], 101)
+
+
+def test_recorder_reports_in_ms():
+    rec = LatencyRecorder("x")
+    for v in (1000.0, 2000.0, 3000.0):
+        rec.add(v)
+    assert rec.mean_ms == 2.0
+    assert rec.p(50) == 2.0
+    assert rec.max_ms() == 3.0
+    assert len(rec) == 3
+
+
+def test_recorder_rejects_negative():
+    with pytest.raises(ValueError):
+        LatencyRecorder().add(-1.0)
+
+
+def test_recorder_counters():
+    rec = LatencyRecorder()
+    rec.count("ebusy")
+    rec.count("ebusy", 2)
+    assert rec.counters == {"ebusy": 3}
+
+
+def test_recorder_extend_merges():
+    a, b = LatencyRecorder("a"), LatencyRecorder("b")
+    a.add(1000.0)
+    a.count("x")
+    b.add(3000.0)
+    b.count("x", 4)
+    a.extend(b)
+    assert len(a) == 2
+    assert a.counters["x"] == 5
+
+
+def test_cdf_is_monotone_and_complete():
+    rec = LatencyRecorder()
+    for i in range(1, 1001):
+        rec.add(float(i))
+    cdf = rec.cdf(points=50)
+    xs = [x for x, _ in cdf]
+    ys = [y for _, y in cdf]
+    assert xs == sorted(xs)
+    assert ys == sorted(ys)
+    assert ys[-1] == 1.0
+
+
+def test_fraction_above():
+    rec = LatencyRecorder()
+    for v in (1.0, 2.0, 3.0, 4.0):
+        rec.add(v * MS)
+    assert rec.fraction_above(2.5) == 0.5
+    assert rec.fraction_above(10.0) == 0.0
+
+
+def test_summary_contents():
+    rec = LatencyRecorder("line")
+    for i in range(100):
+        rec.add(float(i) * MS)
+    rec.count("failover", 3)
+    summary = rec.summary()
+    assert summary["name"] == "line"
+    assert summary["count"] == 100
+    assert summary["failover"] == 3
+    assert summary["p95"] == pytest.approx(94.05)

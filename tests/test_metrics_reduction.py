@@ -1,0 +1,43 @@
+"""Tests of the % latency reduction metric."""
+
+import pytest
+
+from repro.metrics.latency import LatencyRecorder
+from repro.metrics.reduction import latency_reduction, reduction_curve
+
+
+def _recorder(values_ms):
+    rec = LatencyRecorder()
+    for v in values_ms:
+        rec.add(v * 1000.0)
+    return rec
+
+
+def test_reduction_positive_when_mitt_faster():
+    other = _recorder([10.0] * 100)
+    mitt = _recorder([8.0] * 100)
+    red = latency_reduction(other, mitt)
+    assert red["avg"] == pytest.approx(20.0)
+    assert red["p95"] == pytest.approx(20.0)
+
+
+def test_reduction_negative_when_mitt_slower():
+    other = _recorder([10.0] * 100)
+    mitt = _recorder([11.0] * 100)
+    assert latency_reduction(other, mitt)["p90"] == pytest.approx(-10.0)
+
+
+def test_reduction_formula_matches_paper_footnote():
+    # (T_other - T_mitt) / T_other
+    other = _recorder(list(range(1, 101)))
+    mitt = _recorder([v / 2 for v in range(1, 101)])
+    red = latency_reduction(other, mitt, percentiles=(50,))
+    assert red["p50"] == pytest.approx(50.0)
+
+
+def test_reduction_curve_layout():
+    other = _recorder(list(range(1, 101)))
+    mitt = _recorder(list(range(1, 101)))
+    curve = reduction_curve(other, mitt, lo=40, hi=99, step=10)
+    assert [p for p, _ in curve] == [40, 50, 60, 70, 80, 90]
+    assert all(r == pytest.approx(0.0) for _, r in curve)

@@ -1,0 +1,26 @@
+from repro.metrics.tables import format_table
+
+
+def test_columns_are_padded_and_aligned():
+    out = format_table(["name", "v"], [["a", 1], ["longer", 22]])
+    lines = out.splitlines()
+    assert len({line.index("1") if "1" in line else None
+                for line in lines[2:]} - {None}) == 1
+    assert lines[0].startswith("name")
+    assert "-" in lines[1]
+
+
+def test_floats_rendered_with_two_decimals():
+    out = format_table(["x"], [[3.14159]])
+    assert "3.14" in out
+    assert "3.142" not in out
+
+
+def test_title_prepended():
+    out = format_table(["a"], [[1]], title="Table X")
+    assert out.splitlines()[0] == "Table X"
+
+
+def test_empty_rows_ok():
+    out = format_table(["a", "b"], [])
+    assert "a" in out and "b" in out

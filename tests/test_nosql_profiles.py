@@ -1,0 +1,56 @@
+"""Tests of the Table 1 NoSQL behaviour profiles (§2)."""
+
+from repro._units import SEC
+from repro.cluster.nosql_profiles import NOSQL_PROFILES
+from repro.cluster.strategies import (AppToStrategy, BaseStrategy,
+                                      CloneStrategy, SnitchStrategy)
+from repro.experiments.common import build_disk_cluster
+
+
+def test_six_systems_from_the_paper():
+    names = [p.name for p in NOSQL_PROFILES]
+    assert names == ["Cassandra", "Couchbase", "HBase", "MongoDB", "Riak",
+                     "Voldemort"]
+
+
+def test_default_timeouts_match_to_val_column():
+    by_name = {p.name: p for p in NOSQL_PROFILES}
+    assert by_name["Cassandra"].default_timeout_us == 12 * SEC
+    assert by_name["Couchbase"].default_timeout_us == 75 * SEC
+    assert by_name["HBase"].default_timeout_us == 60 * SEC
+    assert by_name["MongoDB"].default_timeout_us == 30 * SEC
+    assert by_name["Riak"].default_timeout_us == 10 * SEC
+    assert by_name["Voldemort"].default_timeout_us == 5 * SEC
+
+
+def test_exactly_three_systems_do_not_failover():
+    no_failover = [p.name for p in NOSQL_PROFILES
+                   if not p.failover_on_timeout]
+    assert len(no_failover) == 3
+    assert set(no_failover) == {"Couchbase", "MongoDB", "Riak"}
+
+
+def test_only_two_clone_and_none_hedge():
+    assert sum(p.has_clone for p in NOSQL_PROFILES) == 2
+    assert not any(p.has_hedged for p in NOSQL_PROFILES)
+
+
+def test_only_cassandra_snitches():
+    assert [p.name for p in NOSQL_PROFILES if p.has_snitch] == ["Cassandra"]
+
+
+def test_strategy_mapping(sim):
+    env = build_disk_cluster(sim, 4)
+    by_name = {p.name: p for p in NOSQL_PROFILES}
+    assert isinstance(by_name["Cassandra"].default_strategy(env.cluster),
+                      SnitchStrategy)
+    assert isinstance(by_name["MongoDB"].default_strategy(env.cluster),
+                      BaseStrategy)
+    assert isinstance(by_name["HBase"].default_strategy(env.cluster),
+                      CloneStrategy)
+    assert isinstance(by_name["Voldemort"].tuned_strategy(env.cluster,
+                                                          100_000.0),
+                      AppToStrategy)
+    tuned_mongo = by_name["MongoDB"].tuned_strategy(env.cluster, 100_000.0)
+    assert isinstance(tuned_mongo, BaseStrategy)
+    assert tuned_mongo.timeout_us == 100_000.0

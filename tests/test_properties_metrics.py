@@ -1,0 +1,58 @@
+"""Property-based tests of percentile math and recorders."""
+
+import statistics
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics.latency import LatencyRecorder, percentile
+
+positive_floats = st.floats(min_value=0.0, max_value=1e9,
+                            allow_nan=False, allow_infinity=False)
+
+
+@given(data=st.lists(positive_floats, min_size=1, max_size=200),
+       p=st.floats(min_value=0, max_value=100))
+def test_percentile_bounded_by_extremes(data, p):
+    value = percentile(data, p)
+    assert min(data) <= value <= max(data)
+
+
+@given(data=st.lists(positive_floats, min_size=1, max_size=200))
+def test_percentile_monotone_in_p(data):
+    values = [percentile(data, p) for p in (0, 25, 50, 75, 95, 100)]
+    assert values == sorted(values)
+
+
+@given(data=st.lists(positive_floats, min_size=1, max_size=200))
+def test_p50_is_the_median(data):
+    assert abs(percentile(data, 50) - statistics.median(data)) < 1e-6 * (
+        1 + statistics.median(data))
+
+
+@given(data=st.lists(positive_floats, min_size=1, max_size=300))
+def test_cdf_monotone_nondecreasing(data):
+    rec = LatencyRecorder()
+    for v in data:
+        rec.add(v)
+    cdf = rec.cdf(points=37)
+    xs = [x for x, _ in cdf]
+    ys = [y for _, y in cdf]
+    assert xs == sorted(xs)
+    assert ys == sorted(ys)
+    assert ys[-1] == 1.0
+
+
+@given(a=st.lists(positive_floats, min_size=1, max_size=50),
+       b=st.lists(positive_floats, min_size=1, max_size=50))
+def test_extend_equals_union(a, b):
+    ra, rb, rc = LatencyRecorder(), LatencyRecorder(), LatencyRecorder()
+    for v in a:
+        ra.add(v)
+        rc.add(v)
+    for v in b:
+        rb.add(v)
+        rc.add(v)
+    ra.extend(rb)
+    assert sorted(ra.samples) == sorted(rc.samples)
+    assert ra.p(95) == rc.p(95)

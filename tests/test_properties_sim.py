@@ -1,0 +1,101 @@
+"""Property-based tests of the DES kernel."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Simulator
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=1e6,
+                                 allow_nan=False), min_size=1,
+                       max_size=50))
+def test_callbacks_run_in_nondecreasing_time_order(delays):
+    sim = Simulator(seed=0)
+    fired = []
+    for d in delays:
+        sim.schedule(d, lambda d=d: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=1e6,
+                                 allow_nan=False), min_size=1,
+                       max_size=30),
+       cancel_mask=st.lists(st.booleans(), min_size=1, max_size=30))
+def test_cancelled_callbacks_never_run(delays, cancel_mask):
+    sim = Simulator(seed=0)
+    fired = []
+    handles = []
+    for i, d in enumerate(delays):
+        handles.append(sim.schedule(d, lambda i=i: fired.append(i)))
+    cancelled = set()
+    for i, (h, cancel) in enumerate(zip(handles, cancel_mask)):
+        if cancel:
+            h.cancel()
+            cancelled.add(i)
+    sim.run()
+    assert set(fired).isdisjoint(cancelled)
+    assert len(fired) == len(delays) - len(set(fired) & set()) - len(
+        [i for i in cancelled if i < len(delays)])
+
+
+@given(values=st.lists(st.integers(), min_size=1, max_size=20))
+def test_all_of_preserves_order_and_values(values):
+    sim = Simulator(seed=0)
+    rng = sim.rng("shuffle")
+    events = [sim.timeout(rng.uniform(0, 100), value=v) for v in values]
+    combo = sim.all_of(events)
+    sim.run()
+    assert combo.value == values
+
+
+@given(delays=st.lists(st.floats(min_value=0.1, max_value=100.0),
+                       min_size=1, max_size=20))
+def test_any_of_returns_earliest(delays):
+    sim = Simulator(seed=0)
+    events = [sim.timeout(d, value=i) for i, d in enumerate(delays)]
+    combo = sim.any_of(events)
+    sim.run()
+    idx, value = combo.value
+    assert idx == value
+    assert delays[idx] == min(delays)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=25)
+def test_replay_determinism_for_any_seed(seed):
+    def trace(s):
+        sim = Simulator(seed=s)
+        log = []
+
+        def proc():
+            rng = sim.rng("p")
+            for _ in range(10):
+                yield sim.timeout(rng.uniform(0, 10))
+                log.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        return log
+
+    assert trace(seed) == trace(seed)
+
+
+@given(ops=st.lists(st.sampled_from(["acquire", "release"]), min_size=1,
+                    max_size=60),
+       slots=st.integers(min_value=1, max_value=8))
+def test_semaphore_invariants(ops, slots):
+    from repro.sim.resources import Semaphore
+    sim = Simulator(seed=0)
+    sem = Semaphore(sim, slots)
+    held = 0
+    for op in ops:
+        if op == "acquire":
+            sem.acquire()
+            held += 1
+        elif held > 0 and sem.in_use > 0:
+            sem.release()
+            held -= 1
+        assert 0 <= sem.in_use <= slots
+        assert sem.queued == max(0, held - slots)

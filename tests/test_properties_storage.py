@@ -1,0 +1,143 @@
+"""Property-based tests of storage-stack invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._units import GB, KB
+from repro.devices import (BlockRequest, Disk, DiskParams, IoClass, IoOp,
+                           Ssd, SsdGeometry)
+from repro.engines import KeySpace
+from repro.kernel import CfqScheduler, PageCache
+from repro.sim import Simulator
+
+offsets = st.integers(min_value=0, max_value=900 * GB)
+
+
+@given(offs=st.lists(offsets, min_size=1, max_size=40))
+@settings(max_examples=30, deadline=None)
+def test_disk_completes_every_request_exactly_once(offs):
+    sim = Simulator(seed=1)
+    disk = Disk(sim, DiskParams(jitter_frac=0.0, hiccup_prob=0.0,
+                                queue_depth=31))
+    completions = []
+    pending = list(offs)
+
+    def feeder():
+        for off in pending:
+            while not disk.has_room():
+                yield 100.0
+            req = BlockRequest(IoOp.READ, off - off % 4096, 4 * KB)
+            req.add_callback(lambda r: completions.append(r.req_id))
+            disk.submit(req)
+        return None
+
+    sim.process(feeder())
+    sim.run()
+    assert len(completions) == len(offs)
+    assert len(set(completions)) == len(offs)
+
+
+@given(offs=st.lists(offsets, min_size=1, max_size=40),
+       classes=st.lists(st.sampled_from(list(IoClass)), min_size=1,
+                        max_size=40))
+@settings(max_examples=30, deadline=None)
+def test_cfq_never_loses_or_duplicates(offs, classes):
+    sim = Simulator(seed=2)
+    disk = Disk(sim, DiskParams(jitter_frac=0.0, hiccup_prob=0.0,
+                                queue_depth=2))
+    sched = CfqScheduler(sim, disk)
+    done = []
+    for i, off in enumerate(offs):
+        cls = classes[i % len(classes)]
+        req = BlockRequest(IoOp.READ, off - off % 4096, 4 * KB,
+                           pid=i % 5, ioclass=cls)
+        req.add_callback(lambda r: done.append(r.req_id))
+        sched.submit(req)
+    sim.run()
+    assert len(done) == len(offs)
+    assert len(set(done)) == len(offs)
+    assert sched.queued == 0
+
+
+@given(lpns=st.lists(st.integers(min_value=0, max_value=4000), min_size=1,
+                     max_size=120))
+@settings(max_examples=20, deadline=None)
+def test_ssd_ftl_mapping_stays_consistent(lpns):
+    sim = Simulator(seed=3)
+    geo = SsdGeometry(n_channels=2, chips_per_channel=2,
+                      blocks_per_chip=16, pages_per_block=32,
+                      jitter_frac=0.0)
+    ssd = Ssd(sim, geo)
+
+    def writer():
+        for lpn in lpns:
+            req = BlockRequest(IoOp.WRITE, lpn * geo.page_size,
+                               geo.page_size)
+            done = sim.event()
+            req.add_callback(lambda r: done.try_succeed())
+            ssd.submit(req)
+            yield done
+
+    sim.process(writer())
+    sim.run()
+    # Every written lpn maps to a real chip; valid counts are sane.
+    for lpn in set(lpns):
+        chip = ssd.read_chip_of(lpn)
+        assert 0 <= chip < geo.n_chips
+    for chip in ssd._chips:
+        assert all(0 <= v <= geo.pages_per_block
+                   for v in chip.valid_count)
+    total_valid = sum(sum(c.valid_count) for c in ssd._chips)
+    assert total_valid >= len(set(lpns))
+
+
+@given(accesses=st.lists(st.tuples(st.integers(0, 3),
+                                   st.integers(0, 60)),
+                         min_size=1, max_size=300),
+       capacity=st.integers(min_value=1, max_value=40))
+def test_page_cache_never_exceeds_capacity(accesses, capacity):
+    sim = Simulator(seed=4)
+    cache = PageCache(sim, capacity)
+    for file_id, page in accesses:
+        cache.insert(file_id, page * 4096, 4096)
+        assert cache.used_pages <= capacity
+    # Most-recently inserted page is always resident.
+    last_file, last_page = accesses[-1]
+    assert cache.resident(last_file, last_page * 4096, 4096)
+
+
+@given(n_keys=st.integers(min_value=1, max_value=5000),
+       key=st.integers(min_value=0))
+def test_keyspace_locate_always_in_span(n_keys, key):
+    ks = KeySpace(n_keys, value_size=1 * KB,
+                  span_bytes=max(n_keys * 4 * KB, 1 * GB))
+    key = key % n_keys
+    offset, size = ks.locate(key)
+    assert 0 <= offset < ks.span_bytes
+    assert offset % ks.align == 0
+    assert size == 1 * KB
+
+
+@given(durations=st.lists(st.sampled_from([100.0, 1000.0, 2000.0, 6000.0]),
+                          min_size=1, max_size=50))
+@settings(max_examples=20, deadline=None)
+def test_mittssd_mirror_resyncs_when_idle(durations):
+    """After every op completes, chip horizons must equal `now`-or-past."""
+    from repro.devices.ssd_profile import SsdLatencyModel
+    from repro.kernel import NoopScheduler, OS
+    from repro.mittos import MittSsd
+    sim = Simulator(seed=5)
+    geo = SsdGeometry(n_channels=2, chips_per_channel=2, jitter_frac=0.0)
+    ssd = Ssd(sim, geo)
+    predictor = MittSsd(ssd, SsdLatencyModel.from_spec(geo))
+    OS(sim, ssd, NoopScheduler(sim, ssd), predictor=predictor)
+    rng = sim.rng("ops")
+    for duration in durations:
+        chip = ssd._chips[rng.randrange(geo.n_chips)]
+        kind = {100.0: "read", 1000.0: "program", 2000.0: "program",
+                6000.0: "erase"}[duration]
+        ssd._run_chip_op(chip, duration, lambda: None, op_kind=kind)
+    sim.run()
+    for i in range(geo.n_chips):
+        assert predictor._chip_outstanding[i] == 0
+        assert predictor._chip_next_free[i] <= sim.now

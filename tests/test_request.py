@@ -1,0 +1,54 @@
+"""Tests of BlockRequest."""
+
+import pytest
+
+from repro.devices.request import BlockRequest, IoClass, IoOp
+
+
+def test_request_ids_are_unique():
+    a = BlockRequest(IoOp.READ, 0, 4096)
+    b = BlockRequest(IoOp.READ, 0, 4096)
+    assert a.req_id != b.req_id
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        BlockRequest(IoOp.READ, 0, 0)
+    with pytest.raises(ValueError):
+        BlockRequest(IoOp.READ, -1, 4096)
+    with pytest.raises(ValueError):
+        BlockRequest(IoOp.READ, 0, 4096, priority=8)
+
+
+def test_end_offset():
+    req = BlockRequest(IoOp.WRITE, 100, 50)
+    assert req.end_offset == 150
+
+
+def test_finish_fires_callbacks_once():
+    req = BlockRequest(IoOp.READ, 0, 4096)
+    seen = []
+    req.add_callback(lambda r: seen.append(r.complete_time))
+    req.finish(123.0)
+    assert seen == [123.0]
+    req.finish(456.0)  # callbacks already drained
+    assert seen == [123.0]
+
+
+def test_latency_requires_both_timestamps():
+    req = BlockRequest(IoOp.READ, 0, 4096)
+    assert req.latency is None
+    req.submit_time = 10.0
+    assert req.latency is None
+    req.finish(35.0)
+    assert req.latency == 25.0
+
+
+def test_ioclass_ordering_matches_cfq_priority():
+    assert IoClass.RT < IoClass.BE < IoClass.IDLE
+
+
+def test_repr_mentions_op_and_offset():
+    req = BlockRequest(IoOp.WRITE, 4096, 512, pid=3)
+    assert "write" in repr(req)
+    assert "4096" in repr(req)

@@ -1,0 +1,143 @@
+"""Tests of generator processes."""
+
+from repro.sim.process import Interrupt
+from tests.conftest import run_process
+
+
+def test_process_returns_value(sim):
+    def gen():
+        yield 10
+        return 99
+
+    assert run_process(sim, gen()) == 99
+
+
+def test_process_yield_number_is_timeout(sim):
+    def gen():
+        yield 15
+        return sim.now
+
+    assert run_process(sim, gen()) == 15
+
+
+def test_process_waits_for_event_value(sim):
+    ev = sim.timeout(5, value="payload")
+
+    def gen():
+        got = yield ev
+        return got
+
+    assert run_process(sim, gen()) == "payload"
+
+
+def test_nested_processes_compose(sim):
+    def child():
+        yield 5
+        return 7
+
+    def parent():
+        v = yield sim.process(child())
+        return v * 2
+
+    assert run_process(sim, parent()) == 14
+
+
+def test_yield_non_waitable_fails_process(sim):
+    def gen():
+        yield "nope"
+
+    proc = sim.process(gen())
+    proc.add_callback(lambda e: None)
+    sim.run()
+    assert not proc.ok
+    assert isinstance(proc.exception, TypeError)
+
+
+def test_exception_propagates_to_waiter(sim):
+    def child():
+        yield 1
+        raise KeyError("missing")
+
+    def parent():
+        try:
+            yield sim.process(child())
+        except KeyError:
+            return "handled"
+
+    assert run_process(sim, parent()) == "handled"
+
+
+def test_interrupt_raises_inside_process(sim):
+    def gen():
+        try:
+            yield 1000
+        except Interrupt as intr:
+            return f"stopped:{intr.cause}"
+
+    proc = sim.process(gen())
+    sim.schedule(10, proc.interrupt, "deadline")
+    done_at = []
+    proc.add_callback(lambda e: done_at.append(sim.now))
+    sim.run()
+    assert proc.value == "stopped:deadline"
+    assert done_at == [10]  # the abandoned timer fires later, harmlessly
+
+
+def test_interrupt_after_completion_is_noop(sim):
+    def gen():
+        yield 1
+        return "done"
+
+    proc = sim.process(gen())
+    sim.run()
+    proc.interrupt("late")
+    sim.run()
+    assert proc.value == "done"
+
+
+def test_uncaught_interrupt_fails_process(sim):
+    def gen():
+        yield 1000
+
+    proc = sim.process(gen())
+    proc.add_callback(lambda e: None)
+    sim.schedule(1, proc.interrupt)
+    sim.run()
+    assert not proc.ok
+    assert isinstance(proc.exception, Interrupt)
+
+
+def test_stale_event_after_interrupt_does_not_resume(sim):
+    ticks = []
+
+    def gen():
+        try:
+            yield sim.timeout(50)
+            ticks.append("timer fired into process")
+        except Interrupt:
+            yield 100  # keep living past the original timer
+            ticks.append("post-interrupt sleep done")
+        return "ok"
+
+    proc = sim.process(gen())
+    sim.schedule(10, proc.interrupt)
+    sim.run()
+    assert proc.value == "ok"
+    assert ticks == ["post-interrupt sleep done"]
+    assert sim.now == 110
+
+
+def test_process_first_step_is_deferred(sim):
+    """The creator can attach callbacks before any process code runs."""
+    order = []
+
+    def gen():
+        order.append("body")
+        yield 0
+        return None
+
+    proc = sim.process(gen())
+    order.append("creator")
+    proc.add_callback(lambda e: order.append("done"))
+    sim.run()
+    assert order == ["creator", "body", "done"]

@@ -1,0 +1,63 @@
+"""Tests of the counting semaphore (node CPU model)."""
+
+import pytest
+
+from repro.sim.resources import Semaphore
+
+
+def test_semaphore_requires_positive_slots(sim):
+    with pytest.raises(ValueError):
+        Semaphore(sim, 0)
+
+
+def test_acquire_within_capacity_is_immediate(sim):
+    sem = Semaphore(sim, 2)
+    a = sem.acquire()
+    b = sem.acquire()
+    assert a.triggered and b.triggered
+    assert sem.in_use == 2
+
+
+def test_acquire_over_capacity_waits_for_release(sim):
+    sem = Semaphore(sim, 1)
+    sem.acquire()
+    waiter = sem.acquire()
+    assert not waiter.triggered
+    assert sem.queued == 1
+    sem.release()
+    assert waiter.triggered
+    assert sem.in_use == 1  # slot transferred, not freed
+
+
+def test_release_without_acquire_raises(sim):
+    with pytest.raises(RuntimeError):
+        Semaphore(sim, 1).release()
+
+
+def test_fifo_handoff_order(sim):
+    sem = Semaphore(sim, 1)
+    sem.acquire()
+    order = []
+    for i in range(3):
+        sem.acquire().add_callback(lambda e, i=i: order.append(i))
+    for _ in range(3):
+        sem.release()
+    assert order == [0, 1, 2]
+
+
+def test_cpu_contention_serializes_work(sim):
+    """12 handlers on 8 slots: the queueing the paper saw in §7.5."""
+    sem = Semaphore(sim, 8)
+    finish_times = []
+
+    def handler():
+        yield sem.acquire()
+        yield 100  # 100 us of CPU
+        sem.release()
+        finish_times.append(sim.now)
+
+    for _ in range(12):
+        sim.process(handler())
+    sim.run()
+    assert sorted(finish_times)[:8] == [100] * 8
+    assert sorted(finish_times)[8:] == [200] * 4

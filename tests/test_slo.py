@@ -1,0 +1,47 @@
+"""Tests of SLO types."""
+
+import pytest
+
+from repro._units import MS
+from repro.metrics.latency import LatencyRecorder
+from repro.mittos import DeadlineSlo, SloRegistry
+
+
+def test_deadline_must_be_positive():
+    with pytest.raises(ValueError):
+        DeadlineSlo(0)
+
+
+def test_from_ms():
+    assert DeadlineSlo.from_ms(20).deadline_us == 20 * MS
+
+
+def test_from_percentile():
+    rec = LatencyRecorder()
+    for i in range(1, 101):
+        rec.add(i * MS)
+    slo = DeadlineSlo.from_percentile(rec, 95)
+    assert slo.deadline_us == pytest.approx(95.05 * MS)
+
+
+def test_registry_per_user_with_default():
+    registry = SloRegistry(default=DeadlineSlo.from_ms(20))
+    registry.set("alice", DeadlineSlo.from_ms(2))
+    assert registry.deadline_us("alice") == 2 * MS
+    assert registry.deadline_us("bob") == 20 * MS
+
+
+def test_registry_without_default_returns_none():
+    assert SloRegistry().deadline_us("nobody") is None
+
+
+def test_registry_rejects_raw_numbers():
+    with pytest.raises(TypeError):
+        SloRegistry().set("u", 20.0)
+
+
+def test_registry_update_any_time():
+    registry = SloRegistry()
+    registry.set("u", DeadlineSlo.from_ms(20))
+    registry.set("u", DeadlineSlo.from_ms(5))
+    assert registry.deadline_us("u") == 5 * MS

@@ -1,0 +1,82 @@
+"""Tests of the richer SLO forms (§8.1)."""
+
+import pytest
+
+from repro._units import KB, MB, MS
+from repro.mittos import PercentileSlo, SloRegistry, ThroughputSlo
+
+
+# -- throughput SLO --------------------------------------------------------
+
+def test_throughput_validation():
+    with pytest.raises(ValueError):
+        ThroughputSlo(0)
+
+
+def test_throughput_deadline_scales_with_size():
+    slo = ThroughputSlo(10 * MB, base_us=1 * MS)  # 10 MB/s minimum
+    small = slo.deadline_for(4 * KB)
+    big = slo.deadline_for(4 * MB)
+    assert small < big
+    # 4 MB at 10 MB/s = 400 ms (+ base).
+    assert big == pytest.approx(1 * MS + 400 * MS, rel=0.01)
+
+
+def test_throughput_floor_for_sizeless_callers():
+    slo = ThroughputSlo(10 * MB, base_us=2 * MS)
+    assert slo.deadline_us == 2 * MS
+
+
+# -- percentile SLO -----------------------------------------------------------
+
+def test_percentile_validation():
+    with pytest.raises(ValueError):
+        PercentileSlo(pct=100)
+
+
+def test_percentile_uses_initial_until_warm():
+    slo = PercentileSlo(pct=95, initial_us=20 * MS)
+    for _ in range(10):
+        slo.observe(1 * MS)
+    assert slo.deadline_us == 20 * MS  # fewer than 20 samples
+
+
+def test_percentile_tracks_distribution():
+    slo = PercentileSlo(pct=90, window=200)
+    for i in range(1, 101):
+        slo.observe(i * MS)
+    assert slo.deadline_us == pytest.approx(91 * MS, rel=0.02)
+
+
+def test_percentile_slides_with_the_workload():
+    slo = PercentileSlo(pct=90, window=100)
+    for _ in range(100):
+        slo.observe(10 * MS)
+    before = slo.deadline_us
+    for _ in range(100):
+        slo.observe(50 * MS)  # the workload got slower
+    assert slo.deadline_us > before
+    assert slo.deadline_us == pytest.approx(50 * MS, rel=0.01)
+
+
+def test_percentile_window_is_bounded():
+    slo = PercentileSlo(window=50)
+    for i in range(500):
+        slo.observe(float(i))
+    assert len(slo._fifo) == 50
+    assert len(slo._sorted) == 50
+
+
+# -- registry accepts all forms ------------------------------------------------
+
+def test_registry_accepts_rich_slos():
+    registry = SloRegistry()
+    registry.set("bulk", ThroughputSlo(50 * MB))
+    registry.set("web", PercentileSlo(pct=95))
+    assert registry.deadline_us("bulk") > 0
+    assert registry.deadline_us("web") > 0
+
+
+def test_registry_still_rejects_raw_numbers():
+    with pytest.raises(TypeError):
+        SloRegistry().set("u", 20.0)

@@ -1,0 +1,154 @@
+"""Tests of the client-side tail-tolerance strategies."""
+
+from repro._units import MS, SEC
+from repro.cluster.strategies import STRATEGIES
+from repro.errors import EBUSY, EIO
+from repro.experiments.common import build_disk_cluster, make_strategy
+
+
+def _noisy_primary(env, key):
+    """Make the key's primary node severely busy."""
+    primary = env.cluster.replicas_for(key)[0]
+    injector = env.injectors[primary.node_id]
+    injector.busy_window(3 * SEC, concurrency=5)
+    return primary
+
+
+def _get(sim, strategy, key):
+    ev = strategy.get(key)
+    sim.run_until(ev, limit=60 * SEC)
+    return ev
+
+
+def test_registry_contains_all_eight():
+    assert set(STRATEGIES) == {"base", "appto", "clone", "hedged", "tied",
+                               "snitch", "c3", "mittos"}
+
+
+def test_base_waits_out_the_noise(sim):
+    env = build_disk_cluster(sim, 6)
+    _noisy_primary(env, 1)
+    strategy = make_strategy("base", env.cluster)
+    start = sim.now
+    ev = _get(sim, strategy, 1)
+    assert ev.value is not EIO
+    assert sim.now - start > 20 * MS  # stalled behind the busy disk
+
+
+def test_base_times_out_with_error(sim):
+    env = build_disk_cluster(sim, 6)
+    _noisy_primary(env, 1)
+    strategy = make_strategy("base", env.cluster)
+    strategy.timeout_us = 15 * MS
+    ev = _get(sim, strategy, 1)
+    assert ev.value is EIO
+    assert strategy.timeouts == 1
+
+
+def test_appto_retries_to_another_replica(sim):
+    env = build_disk_cluster(sim, 6)
+    _noisy_primary(env, 1)
+    strategy = make_strategy("appto", env.cluster, deadline_us=15 * MS)
+    start = sim.now
+    ev = _get(sim, strategy, 1)
+    assert ev.value is not EIO
+    assert strategy.retries >= 1
+    # latency ~ timeout + clean read, far below the noise duration
+    assert sim.now - start < 60 * MS
+
+
+def test_clone_takes_faster_replica(sim):
+    env = build_disk_cluster(sim, 6)
+    _noisy_primary(env, 1)
+    strategy = make_strategy("clone", env.cluster)
+    start = sim.now
+    ev = _get(sim, strategy, 1)
+    assert ev.value is not EIO
+    assert strategy.duplicates == 1
+
+
+def test_hedged_duplicates_only_after_delay(sim):
+    env = build_disk_cluster(sim, 6)
+    strategy = make_strategy("hedged", env.cluster, deadline_us=50 * MS)
+    ev = _get(sim, strategy, 1)  # quiet cluster: no hedge needed
+    assert strategy.duplicates == 0
+    _noisy_primary(env, 2)
+    ev = _get(sim, strategy, 2)
+    assert strategy.duplicates == 1
+    assert ev.value is not EIO
+
+
+def test_mittos_instant_failover(sim):
+    env = build_disk_cluster(sim, 6)
+    _noisy_primary(env, 1)
+    strategy = make_strategy("mittos", env.cluster, deadline_us=15 * MS)
+    start = sim.now
+    ev = _get(sim, strategy, 1)
+    assert ev.value is not EBUSY and ev.value is not EIO
+    assert strategy.failovers >= 1
+    # No waiting: roughly one extra hop + a clean read.
+    assert sim.now - start < 25 * MS
+
+
+def test_mittos_third_try_disables_deadline(sim):
+    env = build_disk_cluster(sim, 3)  # all three replicas = all nodes
+    for injector in env.injectors:
+        injector.busy_window(3 * SEC, concurrency=5)
+    strategy = make_strategy("mittos", env.cluster, deadline_us=10 * MS)
+    ev = _get(sim, strategy, 1)
+    assert ev.value is not EBUSY and ev.value is not EIO
+    assert strategy.all_busy == 1
+
+
+def test_mittos_wait_hint_picks_least_busy(sim):
+    env = build_disk_cluster(sim, 3)
+    for injector in env.injectors:
+        injector.busy_window(3 * SEC, concurrency=5)
+    strategy = make_strategy("mittos", env.cluster, deadline_us=10 * MS,
+                             use_wait_hint=True)
+    ev = _get(sim, strategy, 1)
+    assert ev.value is not EBUSY and ev.value is not EIO
+    assert strategy.all_busy == 1
+
+
+def test_tied_cancels_loser(sim):
+    env = build_disk_cluster(sim, 6)
+    _noisy_primary(env, 1)
+    strategy = make_strategy("tied", env.cluster)
+    strategy.tie_delay_us = 5 * MS
+    ev = _get(sim, strategy, 1)
+    assert ev.value is not EIO and ev.value is not EBUSY
+    assert strategy.duplicates == 1
+
+
+def test_snitch_learns_to_avoid_stable_noise(sim):
+    env = build_disk_cluster(sim, 3)
+    env.injectors[0].busy_window(30 * SEC, concurrency=5)
+    strategy = make_strategy("snitch", env.cluster)
+
+    def client():
+        for k in range(60):
+            yield strategy.get(k)
+
+    proc = sim.process(client())
+    sim.run_until(proc, limit=40 * SEC)
+    # After learning, requests whose primary is node 0 get redirected:
+    ewma = strategy._ewma
+    assert ewma  # it observed latencies
+    busy_score = ewma.get(0)
+    other = [v for nid, v in ewma.items() if nid != 0]
+    assert busy_score is None or not other or busy_score >= min(other)
+
+
+def test_c3_uses_queue_feedback(sim):
+    env = build_disk_cluster(sim, 3)
+    env.injectors[0].busy_window(30 * SEC, concurrency=5)
+    strategy = make_strategy("c3", env.cluster)
+
+    def client():
+        for k in range(60):
+            yield strategy.get(k)
+
+    proc = sim.process(client())
+    sim.run_until(proc, limit=40 * SEC)
+    assert strategy._queue  # queue estimates were collected

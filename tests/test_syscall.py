@@ -1,0 +1,174 @@
+"""Tests of the OS facade: read/addrcheck/write."""
+
+import pytest
+
+from repro._units import GB, KB, MS
+from repro.devices import Disk, DiskParams
+from repro.devices.disk_profile import profile_disk
+from repro.errors import EBUSY
+from repro.kernel import CfqScheduler, OS, PageCache
+from repro.mittos import MittCfq
+from tests.conftest import run_process
+
+
+def _os(sim, cache_pages=None, mitt=False, depth=4):
+    disk = Disk(sim, DiskParams(jitter_frac=0.0, hiccup_prob=0.0,
+                                queue_depth=depth))
+    sched = CfqScheduler(sim, disk)
+    predictor = None
+    if mitt:
+        model = profile_disk(lambda s: Disk(s, DiskParams(
+            jitter_frac=0.0, hiccup_prob=0.0)))
+        predictor = MittCfq(model)
+    cache = PageCache(sim, cache_pages) if cache_pages else None
+    return OS(sim, disk, sched, cache=cache, predictor=predictor)
+
+
+def test_plain_read_returns_result(sim):
+    os_ = _os(sim)
+
+    def gen():
+        result = yield os_.read(0, 10 * GB, 4 * KB)
+        return result
+
+    result = run_process(sim, gen())
+    assert not result.cache_hit
+    assert result.latency > 1 * MS
+
+
+def test_cache_hit_is_fast(sim):
+    os_ = _os(sim, cache_pages=100)
+    os_.cache.insert(0, 0, 4 * KB)
+
+    def gen():
+        result = yield os_.read(0, 0, 4 * KB)
+        return result
+
+    result = run_process(sim, gen())
+    assert result.cache_hit
+    assert result.latency < 100.0  # microseconds, not milliseconds
+
+
+def test_cache_miss_populates_cache(sim):
+    os_ = _os(sim, cache_pages=100)
+
+    def gen():
+        first = yield os_.read(0, 0, 4 * KB)
+        second = yield os_.read(0, 0, 4 * KB)
+        return first, second
+
+    first, second = run_process(sim, gen())
+    assert not first.cache_hit
+    assert second.cache_hit
+
+
+def test_deadline_read_gets_ebusy_when_busy(sim):
+    os_ = _os(sim, mitt=True)
+
+    def gen():
+        # Saturate the disk: several large reads.
+        for i in range(6):
+            os_.read(0, i * 10 * GB, 4096 * KB, pid=9)
+        result = yield os_.read(0, 500 * GB, 4 * KB, pid=1,
+                                deadline=5 * MS)
+        return result, sim.now
+
+    result, at = run_process(sim, gen())
+    assert result is EBUSY
+    assert at < 1 * MS  # rejection is instant (microseconds)
+    assert os_.ebusy_returned == 1
+
+
+def test_deadline_read_accepted_when_idle(sim):
+    os_ = _os(sim, mitt=True)
+
+    def gen():
+        result = yield os_.read(0, 10 * GB, 4 * KB, pid=1,
+                                deadline=50 * MS)
+        return result
+
+    result = run_process(sim, gen())
+    assert result is not EBUSY
+    assert result.latency < 50 * MS
+
+
+def test_addrcheck_resident_ok(sim):
+    os_ = _os(sim, cache_pages=100, mitt=True)
+    os_.cache.insert(0, 0, 4 * KB)
+    assert os_.addrcheck(0, 0, 4 * KB, deadline=100.0) is True
+
+
+def test_addrcheck_missing_with_tiny_deadline_is_ebusy(sim):
+    os_ = _os(sim, cache_pages=100, mitt=True)
+    verdict = os_.addrcheck(0, 0, 4 * KB, deadline=10.0)
+    assert verdict is EBUSY
+    # Fairness caveat: the OS swaps the page in anyway (§4.4).
+    assert os_.cache.resident(0, 0, 4 * KB)
+
+
+def test_addrcheck_missing_with_roomy_deadline_is_ok(sim):
+    os_ = _os(sim, cache_pages=100, mitt=True)
+    assert os_.addrcheck(0, 0, 4 * KB, deadline=100 * MS) is True
+
+
+def test_addrcheck_without_cache_raises(sim):
+    os_ = _os(sim)
+    with pytest.raises(RuntimeError):
+        os_.addrcheck(0, 0, 4 * KB, deadline=1.0)
+
+
+def test_write_is_buffered_and_fast(sim):
+    os_ = _os(sim)
+
+    def gen():
+        start = sim.now
+        yield os_.write(0, 0, 1 * KB)
+        return sim.now - start
+
+    latency = run_process(sim, gen())
+    assert latency < 100.0
+
+
+def test_writes_flush_in_background(sim):
+    os_ = _os(sim)
+
+    def gen():
+        for i in range(10):
+            yield os_.write(0, i * KB, 1024 * KB)
+        return None
+
+    run_process(sim, gen())
+    sim.run()
+    assert os_.device.completed > 0  # flusher issued real IOs
+
+
+def test_io_observer_sees_block_request(sim):
+    os_ = _os(sim)
+    seen = []
+
+    def gen():
+        yield os_.read(0, 10 * GB, 4 * KB, io_observer=seen.append)
+        return None
+
+    run_process(sim, gen())
+    assert len(seen) == 1
+    assert seen[0].offset == 10 * GB
+
+
+def test_late_cancellation_returns_ebusy(sim):
+    """MittCFQ bump-back: accepted IO cancelled later -> EBUSY."""
+    os_ = _os(sim, mitt=True, depth=1)
+
+    def gen():
+        os_.read(0, 0, 4 * KB, pid=9)  # briefly occupy the device
+        # Admitted comfortably: predicted ~ one small read ahead.
+        ev = os_.read(0, 700 * GB, 4 * KB, pid=1, deadline=25 * MS)
+        # A flood of closer, earlier-offset IOs bumps the deadline IO back.
+        for i in range(20):
+            os_.read(0, i * GB, 1024 * KB, pid=1)
+        result = yield ev
+        return result
+
+    result = run_process(sim, gen())
+    assert result is EBUSY
+    assert os_.predictor.late_cancellations >= 1

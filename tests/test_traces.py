@@ -1,0 +1,74 @@
+"""Tests of the synthetic trace generator/replayer."""
+
+import random
+
+import pytest
+
+from repro._units import GB, SEC
+from repro.devices import Disk, DiskParams, IoOp
+from repro.kernel import CfqScheduler, OS
+from repro.sim import Simulator
+from repro.workloads.traces import (TRACE_FAMILIES, generate_trace,
+                                    replay_trace)
+
+
+def test_five_families_defined():
+    assert set(TRACE_FAMILIES) == {"DAPPS", "DTRS", "EXCH", "LMBE", "TPCC"}
+
+
+@pytest.mark.parametrize("name", sorted(TRACE_FAMILIES))
+def test_trace_respects_family_parameters(name):
+    spec = TRACE_FAMILIES[name]
+    records = generate_trace(spec, random.Random(1), 60 * SEC,
+                             span_bytes=100 * GB)
+    assert records, "empty trace"
+    # Rate within a factor of ~2 of spec (burstiness allowed).
+    rate = len(records) / 60
+    assert spec.iops / 2 < rate < spec.iops * 2.5
+    reads = sum(1 for r in records if r.op is IoOp.READ)
+    assert reads / len(records) == pytest.approx(spec.read_fraction,
+                                                 abs=0.08)
+    assert all(r.size in spec.sizes for r in records)
+    assert all(r.offset % 4096 == 0 for r in records)
+
+
+def test_times_are_sorted():
+    records = generate_trace(TRACE_FAMILIES["EXCH"], random.Random(2),
+                             10 * SEC)
+    times = [r.time for r in records]
+    assert times == sorted(times)
+
+
+def test_rate_scale_multiplies_intensity():
+    base = generate_trace(TRACE_FAMILIES["TPCC"], random.Random(3),
+                          10 * SEC)
+    scaled = generate_trace(TRACE_FAMILIES["TPCC"], random.Random(3),
+                            10 * SEC, rate_scale=4.0)
+    assert len(scaled) > 2.5 * len(base)
+
+
+def test_replay_submits_all_records():
+    sim = Simulator(seed=1)
+    disk = Disk(sim, DiskParams(jitter_frac=0.0, hiccup_prob=0.0))
+    os_ = OS(sim, disk, CfqScheduler(sim, disk))
+    records = generate_trace(TRACE_FAMILIES["DAPPS"], random.Random(4),
+                             5 * SEC)
+    completed = []
+    proc = replay_trace(sim, os_, records,
+                        on_complete=lambda r: completed.append(r))
+    sim.run()
+    assert proc.value == len(records)
+    assert len(completed) == len(records)
+
+
+def test_replay_with_deadline_tags_requests():
+    sim = Simulator(seed=1)
+    disk = Disk(sim, DiskParams(jitter_frac=0.0, hiccup_prob=0.0))
+    os_ = OS(sim, disk, CfqScheduler(sim, disk))
+    records = generate_trace(TRACE_FAMILIES["TPCC"], random.Random(5),
+                             1 * SEC)
+    tagged = []
+    replay_trace(sim, os_, records, deadline_us=10_000.0,
+                 on_complete=tagged.append)
+    sim.run()
+    assert all(r.abs_deadline is not None for r in tagged)

@@ -1,0 +1,64 @@
+"""Tests: the five trace families really differ as §7.6 requires."""
+
+import random
+
+import pytest
+
+from repro._units import GB, SEC
+from repro.workloads.stats import characterize
+from repro.workloads.traces import TRACE_FAMILIES, generate_trace
+
+SPAN = 200 * GB
+
+
+def _profile(name, seed=1):
+    records = generate_trace(TRACE_FAMILIES[name], random.Random(seed),
+                             60 * SEC, span_bytes=SPAN)
+    return characterize(records, SPAN)
+
+
+def test_empty_trace_rejected():
+    with pytest.raises(ValueError):
+        characterize([], SPAN)
+
+
+def test_measured_iops_match_specs():
+    for name, spec in TRACE_FAMILIES.items():
+        profile = _profile(name)
+        assert spec.iops * 0.6 < profile.iops < spec.iops * 2.2, name
+
+
+def test_exch_is_write_heavy_and_tpcc_read_leaning():
+    assert _profile("EXCH").read_fraction < 0.45
+    assert _profile("TPCC").read_fraction > 0.55
+    assert _profile("LMBE").read_fraction > 0.75
+
+
+def test_lmbe_has_the_largest_ios():
+    sizes = {name: _profile(name).mean_size for name in TRACE_FAMILIES}
+    assert sizes["LMBE"] == max(sizes.values())
+    assert sizes["TPCC"] == min(sizes.values()) or \
+        sizes["EXCH"] == min(sizes.values())
+
+
+def test_locality_ordering():
+    hot = {name: _profile(name).hot_fraction for name in TRACE_FAMILIES}
+    assert hot["LMBE"] > hot["TPCC"]
+    assert hot["EXCH"] > hot["TPCC"]
+
+
+def test_dtrs_is_more_sequential_than_tpcc():
+    assert (_profile("DTRS").sequential_fraction
+            > _profile("TPCC").sequential_fraction + 0.2)
+
+
+def test_burstiness_ordering():
+    """EXCH (burstiness .8) arrives burstier than TPCC (.1)."""
+    assert (_profile("EXCH").interarrival_cv
+            > _profile("TPCC").interarrival_cv)
+
+
+def test_row_rendering():
+    profile = _profile("DAPPS")
+    row = profile.as_row()
+    assert len(row) == len(profile.ROW_HEADERS)
