@@ -1,0 +1,21 @@
+"""Determinism analysis: static linter + runtime replay verification.
+
+The simulator's contract (``src/repro/sim/core.py``) is that a
+``(seed, workload)`` pair always replays identically.  This package
+*enforces* that contract from two sides:
+
+* ``python -m repro.analysis lint`` — an AST-based linter that flags
+  determinism hazards (rules ``DET001``-``DET005``) anywhere under
+  ``src/repro/``; suppress a genuine false positive with a
+  ``# repro: allow[DET001]`` comment on (or directly above) the line.
+* :func:`verify_replay` — runs a scenario twice on paranoid simulators
+  and diffs the executed event traces, pinpointing the first divergent
+  event instead of just reporting "the figures look different".
+"""
+
+from repro.analysis.linter import Finding, lint_file, lint_paths
+from repro.analysis.replay import ReplayReport, verify_replay
+from repro.analysis.rules import RULES
+
+__all__ = ["Finding", "lint_file", "lint_paths", "RULES",
+           "ReplayReport", "verify_replay"]

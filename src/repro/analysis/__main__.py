@@ -1,0 +1,53 @@
+"""CLI: ``python -m repro.analysis lint [paths...] [--format json]``."""
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.linter import lint_paths, render_findings
+from repro.analysis.rules import RULES
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Determinism analysis for the MittOS reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    lint = sub.add_parser("lint", help="run the determinism linter")
+    lint.add_argument("paths", nargs="*", default=["src/repro"],
+                      help="files or directories (default: src/repro)")
+    lint.add_argument("--format", choices=("human", "json"),
+                      default="human")
+    lint.add_argument("--rules", metavar="IDS",
+                      help="comma-separated rule IDs to run "
+                           "(default: all)")
+
+    sub.add_parser("rules", help="list rule IDs and what they check")
+
+    args = parser.parse_args(argv)
+    if args.command == "rules":
+        for rule in RULES.values():
+            if rule.id == "DET000":
+                continue
+            print(f"{rule.id}  {rule.name:22s} {rule.summary}")
+        return 0
+
+    rules = None
+    if args.rules:
+        rules = {r.strip().upper() for r in args.rules.split(",")}
+        unknown = rules - RULES.keys()
+        if unknown:
+            parser.error(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        parser.error(f"no such file or directory: {', '.join(missing)}")
+    findings = lint_paths(args.paths, rules=rules)
+    print(render_findings(findings, fmt=args.format))
+    if any(f.rule == "DET000" for f in findings):
+        return 2
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,121 @@
+"""File walking, suppression handling, and finding aggregation."""
+
+import ast
+import json
+import re
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from repro.analysis.rules import CHECKERS, RULES, ModuleContext
+
+#: ``# repro: allow[DET001]`` or ``# repro: allow[DET001,DET003] reason``.
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Z0-9,\s]+)\]")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One determinism hazard at a specific source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self):
+        return f"{self.path}:{self.line}:{self.col + 1}: " \
+               f"{self.rule} {self.message}"
+
+    def to_dict(self):
+        d = asdict(self)
+        d["rule_name"] = RULES[self.rule].name
+        return d
+
+
+def _suppressions(source):
+    """Map line number -> set of rule IDs suppressed on that line.
+
+    A trailing comment suppresses its own line; a comment on a line of its
+    own suppresses the next code line (skipping further comment/blank
+    lines, so multi-line justification comments work).
+    """
+    allowed = {}
+    lines = source.splitlines()
+    for lineno, text in enumerate(lines, start=1):
+        match = _ALLOW_RE.search(text)
+        if not match:
+            continue
+        ids = {part.strip() for part in match.group(1).split(",")
+               if part.strip()}
+        target = lineno
+        if text[:match.start()].strip() == "":
+            target = lineno + 1
+            while target <= len(lines):
+                stripped = lines[target - 1].strip()
+                if stripped and not stripped.startswith("#"):
+                    break
+                target += 1
+        allowed.setdefault(target, set()).update(ids)
+    return allowed
+
+
+def lint_source(source, path, rules=None):
+    """Lint one source string as if it lived at ``path``."""
+    path = Path(path)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as err:
+        return [Finding("DET000", str(path), err.lineno or 1, 0,
+                        f"could not parse: {err.msg}")]
+    ctx = ModuleContext(path.parts, tree)
+    allowed = _suppressions(source)
+    findings = []
+    for rule_id, checker in CHECKERS.items():
+        if rules is not None and rule_id not in rules:
+            continue
+        for _, line, col, message in checker(tree, ctx):
+            if rule_id in allowed.get(line, ()):
+                continue
+            findings.append(Finding(rule_id, str(path), line, col, message))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def lint_file(path, rules=None):
+    path = Path(path)
+    return lint_source(path.read_text(encoding="utf-8"), path, rules=rules)
+
+
+def iter_python_files(paths):
+    """Expand files/directories into a sorted, deduplicated .py file list."""
+    seen = set()
+    for entry in paths:
+        entry = Path(entry)
+        candidates = sorted(entry.rglob("*.py")) if entry.is_dir() \
+            else [entry]
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                yield candidate
+
+
+def lint_paths(paths, rules=None):
+    """Lint every ``.py`` file under the given files/directories."""
+    findings = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path, rules=rules))
+    return findings
+
+
+def render_findings(findings, fmt="human"):
+    """Render findings as a human report or a JSON document."""
+    if fmt == "json":
+        return json.dumps({
+            "findings": [f.to_dict() for f in findings],
+            "count": len(findings),
+        }, indent=2)
+    if not findings:
+        return "determinism lint: clean"
+    lines = [f.render() for f in findings]
+    lines.append(f"determinism lint: {len(findings)} finding(s)")
+    return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""Replay verification: run a scenario twice, diff the event traces.
+
+A hash mismatch alone says "something diverged"; debugging needs *where*.
+:func:`verify_replay` keeps both full traces and reports the first index
+at which the ``(time, seq, callback)`` streams disagree, plus any
+per-stream RNG draw-count differences — usually enough to name the module
+that consumed nondeterminism.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.sim import Simulator
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """First point at which two same-seed traces disagree."""
+
+    index: int
+    first: tuple  # (time, seq, qualname) or None if trace ended early
+    second: tuple
+
+    def render(self):
+        return (f"first divergence at event #{self.index}:\n"
+                f"  run 1: {self.first}\n"
+                f"  run 2: {self.second}")
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of running one scenario twice with the same seed."""
+
+    seed: int
+    hashes: tuple
+    events: tuple
+    rng_draws: tuple
+    divergence: Divergence = None
+    draw_mismatches: dict = field(default_factory=dict)
+
+    @property
+    def ok(self):
+        return self.divergence is None and not self.draw_mismatches
+
+    def render(self):
+        if self.ok:
+            return (f"replay OK: seed={self.seed} events={self.events[0]} "
+                    f"trace={self.hashes[0]}")
+        lines = [f"replay DIVERGED: seed={self.seed} "
+                 f"hashes={self.hashes[0]} vs {self.hashes[1]}"]
+        if self.divergence is not None:
+            lines.append(self.divergence.render())
+        for name, (a, b) in sorted(self.draw_mismatches.items()):
+            lines.append(f"  rng stream '{name}': {a} draws vs {b}")
+        return "\n".join(lines)
+
+
+def _first_divergence(trace_a, trace_b):
+    for i, (a, b) in enumerate(zip(trace_a, trace_b)):
+        if a != b:
+            return Divergence(i, a, b)
+    if len(trace_a) != len(trace_b):
+        i = min(len(trace_a), len(trace_b))
+        return Divergence(i,
+                          trace_a[i] if i < len(trace_a) else None,
+                          trace_b[i] if i < len(trace_b) else None)
+    return None
+
+
+def verify_replay(scenario, seed=0, until=None, runs=2):
+    """Run ``scenario(sim)`` ``runs`` times on fresh paranoid simulators.
+
+    ``scenario`` receives a ``Simulator(seed=seed, paranoid=True)`` and may
+    schedule work, run the sim itself, or both — any events still pending
+    when it returns are drained with ``sim.run(until=until)``.  Returns a
+    :class:`ReplayReport`; ``report.ok`` means every run produced an
+    identical event trace and identical per-stream RNG draw counts.
+    """
+    hashes, events, draws, traces = [], [], [], []
+    for _ in range(runs):
+        sim = Simulator(seed=seed, paranoid=True)
+        scenario(sim)
+        sim.run(until=until)
+        hashes.append(sim.trace_hash())
+        events.append(sim.sanitizer.events)
+        draws.append(sim.rng_draws())
+        traces.append(sim.sanitizer.trace)
+
+    report = ReplayReport(seed=seed, hashes=tuple(hashes),
+                          events=tuple(events), rng_draws=tuple(draws))
+    for other_trace, other_draws in zip(traces[1:], draws[1:]):
+        div = _first_divergence(traces[0], other_trace)
+        if div is not None and report.divergence is None:
+            report.divergence = div
+        for name in sorted(draws[0].keys() | other_draws.keys()):
+            a, b = draws[0].get(name, 0), other_draws.get(name, 0)
+            if a != b and name not in report.draw_mismatches:
+                report.draw_mismatches[name] = (a, b)
+    return report

@@ -1,0 +1,387 @@
+"""Determinism lint rules DET001-DET005.
+
+Each rule is an AST checker with a stable ID.  Rules are deliberately
+syntactic (no type inference): they encode the *project conventions* that
+make replay deterministic, not general Python semantics.
+
+==========  ============================================================
+DET001      randomness outside named ``Simulator.rng`` streams
+            (bare ``random.*``, unseeded ``random.Random()``,
+            unseeded ``numpy.random`` generators)
+DET002      wall-clock reads (``time.time``, ``perf_counter``,
+            ``datetime.now``, ...) outside ``metrics/``/``benchmarks/``
+DET003      iteration over sets / ``dict.keys()`` without ``sorted()``
+            in scheduling code paths (``sim/``, ``kernel/``,
+            ``devices/``, ``cluster/``)
+DET004      ``==`` / ``!=`` between two simulation timestamps
+            (float equality breaks under re-ordered arithmetic)
+DET005      ``heapq`` mutation outside ``sim/core.py`` (the event heap
+            has exactly one owner)
+==========  ============================================================
+
+Suppress a finding with ``# repro: allow[DET00X]`` on the offending line
+or on a comment line directly above it, plus a reason.
+"""
+
+import ast
+from dataclasses import dataclass
+
+#: Directory parts whose files count as scheduling/dispatch code (DET003).
+SCHEDULING_PARTS = frozenset({"sim", "kernel", "devices", "cluster"})
+
+#: Directory parts exempt from the wall-clock rule (DET002): measurement
+#: and benchmark harnesses legitimately time the host machine.
+WALLCLOCK_EXEMPT_PARTS = frozenset({"metrics", "benchmarks"})
+
+#: ``time`` module functions that read the host clock.
+WALL_FNS = frozenset({
+    "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+    "perf_counter_ns", "process_time", "process_time_ns", "clock_gettime",
+})
+
+#: ``numpy.random`` factories that are fine *when explicitly seeded*.
+NP_SEEDED_FACTORIES = frozenset({
+    "default_rng", "Generator", "RandomState", "SeedSequence",
+})
+
+#: ``heapq`` functions that mutate their heap argument.
+HEAPQ_MUTATORS = frozenset({
+    "heappush", "heappop", "heapify", "heapreplace", "heappushpop",
+})
+
+
+@dataclass(frozen=True)
+class Rule:
+    id: str
+    name: str
+    summary: str
+
+
+RULES = {r.id: r for r in [
+    Rule("DET000", "parse-error", "file could not be parsed"),
+    Rule("DET001", "unmanaged-random",
+         "randomness must flow through named Simulator.rng streams"),
+    Rule("DET002", "wall-clock",
+         "host clock reads outside metrics/ and benchmarks/"),
+    Rule("DET003", "unordered-iteration",
+         "set / dict.keys() iteration without sorted() in scheduling code"),
+    Rule("DET004", "float-time-equality",
+         "==/!= between two simulation timestamps"),
+    Rule("DET005", "foreign-heap-mutation",
+         "heapq mutation outside sim/core.py"),
+]}
+
+
+class ModuleContext:
+    """Per-file facts shared by all rule checkers: path scope + aliases."""
+
+    def __init__(self, path_parts, tree):
+        parts = set(path_parts)
+        self.in_scheduling = bool(parts & SCHEDULING_PARTS)
+        self.wallclock_exempt = bool(parts & WALLCLOCK_EXEMPT_PARTS)
+        self.is_sim_core = tuple(path_parts[-2:]) == ("sim", "core.py")
+
+        # Import aliases, collected once.
+        self.random_mods = set()       # names bound to the random module
+        self.from_random = {}          # local name -> original random.<X>
+        self.numpy_mods = set()        # names bound to numpy
+        self.nprandom_mods = set()     # names bound to numpy.random
+        self.time_mods = set()         # names bound to time
+        self.from_time = {}            # local name -> time.<X>
+        self.datetime_mods = set()     # names bound to the datetime module
+        self.datetime_classes = set()  # names bound to datetime.datetime
+        self.date_classes = set()      # names bound to datetime.date
+        self.heapq_mods = set()        # names bound to heapq
+        self.from_heapq = {}           # local name -> heapq.<X>
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    if alias.name == "random":
+                        self.random_mods.add(bound)
+                    elif alias.name == "numpy":
+                        self.numpy_mods.add(bound)
+                    elif alias.name == "numpy.random":
+                        if alias.asname:
+                            self.nprandom_mods.add(bound)
+                        else:
+                            self.numpy_mods.add(bound)
+                    elif alias.name == "time":
+                        self.time_mods.add(bound)
+                    elif alias.name == "datetime":
+                        self.datetime_mods.add(bound)
+                    elif alias.name == "heapq":
+                        self.heapq_mods.add(bound)
+            elif isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    if node.module == "random":
+                        self.from_random[bound] = alias.name
+                    elif node.module == "numpy" and alias.name == "random":
+                        self.nprandom_mods.add(bound)
+                    elif node.module == "time":
+                        self.from_time[bound] = alias.name
+                    elif node.module == "datetime":
+                        if alias.name == "datetime":
+                            self.datetime_classes.add(bound)
+                        elif alias.name == "date":
+                            self.date_classes.add(bound)
+                    elif node.module == "heapq":
+                        self.from_heapq[bound] = alias.name
+
+
+def dotted_name(node):
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return list(reversed(parts))
+
+
+def _finding(rule_id, node, message):
+    return (rule_id, node.lineno, node.col_offset, message)
+
+
+# -- DET001: unmanaged randomness ------------------------------------------
+
+def check_det001(tree, ctx):
+    findings = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        seeded = bool(node.args or node.keywords)
+        chain = dotted_name(node.func)
+        if chain and len(chain) == 2 and chain[0] in ctx.random_mods:
+            fn = chain[1]
+            if fn == "Random" and seeded:
+                continue  # explicitly-seeded private stream
+            if fn == "Random":
+                msg = "unseeded random.Random() — seed it or use Simulator.rng"
+            else:
+                msg = (f"module-level random.{fn}() shares hidden global "
+                       "state — draw from a named Simulator.rng stream")
+            findings.append(_finding("DET001", node, msg))
+        elif chain and (
+                (len(chain) == 3 and chain[0] in ctx.numpy_mods
+                 and chain[1] == "random")
+                or (len(chain) == 2 and chain[0] in ctx.nprandom_mods)):
+            fn = chain[-1]
+            if fn in NP_SEEDED_FACTORIES and seeded:
+                continue
+            if fn in NP_SEEDED_FACTORIES:
+                msg = f"numpy.random.{fn}() without an explicit seed"
+            else:
+                msg = (f"numpy.random.{fn}() uses the global numpy "
+                       "generator — use a seeded default_rng(seed)")
+            findings.append(_finding("DET001", node, msg))
+        elif isinstance(node.func, ast.Name) and \
+                node.func.id in ctx.from_random:
+            orig = ctx.from_random[node.func.id]
+            if orig == "Random" and seeded:
+                continue
+            findings.append(_finding(
+                "DET001", node,
+                f"random.{orig} imported directly — draw from a named "
+                "Simulator.rng stream instead"))
+    return findings
+
+
+# -- DET002: wall-clock reads ----------------------------------------------
+
+def check_det002(tree, ctx):
+    if ctx.wallclock_exempt:
+        return []
+    findings = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = dotted_name(node.func)
+        bad = None
+        if chain and len(chain) == 2:
+            root, fn = chain
+            if root in ctx.time_mods and fn in WALL_FNS:
+                bad = f"time.{fn}()"
+            elif root in ctx.datetime_classes and \
+                    fn in ("now", "utcnow", "today"):
+                bad = f"datetime.{fn}()"
+            elif root in ctx.date_classes and fn == "today":
+                bad = "date.today()"
+        elif chain and len(chain) == 3 and chain[0] in ctx.datetime_mods:
+            if chain[1] == "datetime" and chain[2] in ("now", "utcnow",
+                                                       "today"):
+                bad = f"datetime.datetime.{chain[2]}()"
+            elif chain[1] == "date" and chain[2] == "today":
+                bad = "datetime.date.today()"
+        elif isinstance(node.func, ast.Name) and \
+                ctx.from_time.get(node.func.id) in WALL_FNS:
+            bad = f"time.{ctx.from_time[node.func.id]}()"
+        if bad:
+            findings.append(_finding(
+                "DET002", node,
+                f"wall-clock read {bad} — simulation code must use sim.now "
+                "(host time is fine only in metrics/ and benchmarks/)"))
+    return findings
+
+
+# -- DET003: unordered iteration in scheduling code ------------------------
+
+_SET_COMBINATORS = frozenset({
+    "union", "intersection", "difference", "symmetric_difference", "copy",
+})
+
+
+def _is_setish(node):
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name):
+            return node.func.id in ("set", "frozenset")
+        if isinstance(node.func, ast.Attribute) and \
+                node.func.attr in _SET_COMBINATORS:
+            # e.g. set().union(*parts) — still hash-ordered.
+            return _is_setish(node.func.value)
+    return False
+
+
+def _collect_set_names(tree):
+    """Names / ``self.attr``s ever assigned a set, minus ones also assigned
+    something else (conservative: only flag unambiguous set variables)."""
+    set_names, other_names = set(), set()
+    set_attrs, other_attrs = set(), set()
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        value = node.value
+        if value is None:
+            continue
+        targets = node.targets if isinstance(node, ast.Assign) \
+            else [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name):
+                (set_names if _is_setish(value) else other_names).add(
+                    target.id)
+            elif isinstance(target, ast.Attribute) and \
+                    isinstance(target.value, ast.Name) and \
+                    target.value.id == "self":
+                (set_attrs if _is_setish(value) else other_attrs).add(
+                    target.attr)
+    return set_names - other_names, set_attrs - other_attrs
+
+
+def check_det003(tree, ctx):
+    if not ctx.in_scheduling:
+        return []
+    set_names, set_attrs = _collect_set_names(tree)
+    findings = []
+
+    def iter_exprs():
+        for node in ast.walk(tree):
+            if isinstance(node, ast.For):
+                yield node.iter
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                for gen in node.generators:
+                    yield gen.iter
+
+    for expr in iter_exprs():
+        if isinstance(expr, ast.Call) and \
+                isinstance(expr.func, ast.Name) and \
+                expr.func.id in ("sorted", "enumerate", "len", "sum",
+                                 "min", "max"):
+            # sorted() fixes the order; the aggregates are order-free.
+            continue
+        if _is_setish(expr):
+            findings.append(_finding(
+                "DET003", expr,
+                "iterating a set in scheduling code — wrap in sorted() so "
+                "dispatch order never depends on hash order"))
+        elif isinstance(expr, ast.Name) and expr.id in set_names:
+            findings.append(_finding(
+                "DET003", expr,
+                f"iterating set '{expr.id}' in scheduling code — wrap in "
+                "sorted()"))
+        elif isinstance(expr, ast.Attribute) and \
+                isinstance(expr.value, ast.Name) and \
+                expr.value.id == "self" and expr.attr in set_attrs:
+            findings.append(_finding(
+                "DET003", expr,
+                f"iterating set 'self.{expr.attr}' in scheduling code — "
+                "wrap in sorted()"))
+        elif isinstance(expr, ast.Call) and \
+                isinstance(expr.func, ast.Attribute) and \
+                expr.func.attr == "keys" and not expr.args:
+            findings.append(_finding(
+                "DET003", expr,
+                ".keys() iteration in scheduling code — use sorted(...) to "
+                "make the dispatch order an explicit contract"))
+    return findings
+
+
+# -- DET004: float timestamp equality --------------------------------------
+
+def _timestamp_like(node):
+    if isinstance(node, ast.Attribute):
+        name = node.attr
+    elif isinstance(node, ast.Name):
+        name = node.id
+    else:
+        return False
+    return (name == "now" or name == "timestamp"
+            or name.endswith("_time") or name.endswith("deadline")
+            or name.endswith("_ts"))
+
+
+def check_det004(tree, ctx):
+    findings = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands = [node.left] + node.comparators
+        for i, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            left, right = operands[i], operands[i + 1]
+            if _timestamp_like(left) and _timestamp_like(right):
+                findings.append(_finding(
+                    "DET004", node,
+                    "==/!= between simulation timestamps — float equality "
+                    "breaks under re-ordered arithmetic; compare with <=/>= "
+                    "or an explicit tolerance"))
+    return findings
+
+
+# -- DET005: heapq mutation outside sim/core.py ----------------------------
+
+def check_det005(tree, ctx):
+    if ctx.is_sim_core:
+        return []
+    findings = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        fn = None
+        chain = dotted_name(node.func)
+        if chain and len(chain) == 2 and chain[0] in ctx.heapq_mods:
+            fn = chain[1]
+        elif isinstance(node.func, ast.Name) and \
+                node.func.id in ctx.from_heapq:
+            fn = ctx.from_heapq[node.func.id]
+        if fn in HEAPQ_MUTATORS:
+            findings.append(_finding(
+                "DET005", node,
+                f"heapq.{fn}() outside sim/core.py — the event heap has one "
+                "owner; schedule through Simulator.schedule/schedule_at"))
+    return findings
+
+
+CHECKERS = {
+    "DET001": check_det001,
+    "DET002": check_det002,
+    "DET003": check_det003,
+    "DET004": check_det004,
+    "DET005": check_det005,
+}

@@ -40,3 +40,13 @@ class SchedulingInPastError(SimulationError):
 
 class ProcessCrashed(SimulationError):
     """A top-level simulation process raised and nobody was waiting on it."""
+
+
+class DeterminismError(SimulationError):
+    """The replay sanitizer caught a broken determinism invariant.
+
+    Raised by ``Simulator(paranoid=True)`` when the executed event trace
+    violates clock monotonicity (e.g. someone mutated the event heap behind
+    the simulator's back) — see ``repro/analysis`` for the matching static
+    checks (rule IDs DET001-DET005).
+    """

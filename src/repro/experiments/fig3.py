@@ -23,10 +23,16 @@ PROBE_GAPS = {"disk": 100 * MS, "ssd": 20 * MS, "cache": 20 * MS}
 BUSY_THRESHOLDS_MS = {"disk": 20.0, "ssd": 1.0, "cache": 0.05}
 
 
-def _probe_nodes(resource, n_nodes, horizon_us, seed):
+def _probe_nodes(resource, n_nodes, horizon_us, seed, sim=None):
     """Run the probe workload on n nodes; returns per-node recorders and
-    the noise schedules used."""
-    sim = Simulator(seed=seed)
+    the noise schedules used.
+
+    ``sim`` lets a caller supply a pre-built simulator (e.g. a paranoid one
+    for replay verification); by default a fresh ``Simulator(seed=seed)``
+    is used, as in the paper runs.
+    """
+    if sim is None:
+        sim = Simulator(seed=seed)
     model = Ec2NoiseModel(resource)
     keyspace = KeySpace(5_000, value_size=4 * KB,
                         span_bytes=(800 * GB if resource == "disk"
@@ -76,6 +82,15 @@ def _interarrival_stats(recorder, threshold_ms, gap_us):
                    if s > limit]
     gaps = [(b - a) / SEC for a, b in zip(noisy_times, noisy_times[1:])]
     return gaps
+
+
+def replay_scenario(sim, resource="disk", n_nodes=3, horizon_us=2 * SEC):
+    """A scaled-down fig3 probe on a caller-supplied simulator.
+
+    Used with :func:`repro.analysis.verify_replay` to check that the
+    experiment replays bit-identically under ``paranoid=True``.
+    """
+    _probe_nodes(resource, n_nodes, horizon_us, seed=sim.seed, sim=sim)
 
 
 def run(quick=True, seed=7):

@@ -10,5 +10,7 @@ events or timeouts, in the style of SimPy.
 from repro.sim.core import Simulator
 from repro.sim.events import AllOf, AnyOf, Event
 from repro.sim.process import Process
+from repro.sim.sanitizer import ReplaySanitizer
 
-__all__ = ["Simulator", "Event", "AllOf", "AnyOf", "Process"]
+__all__ = ["Simulator", "Event", "AllOf", "AnyOf", "Process",
+           "ReplaySanitizer"]

@@ -4,9 +4,10 @@ import heapq
 import itertools
 import random
 
-from repro.errors import ProcessCrashed, SchedulingInPastError
+from repro.errors import ProcessCrashed, SchedulingInPastError, SimulationError
 from repro.sim.events import AllOf, AnyOf, Event
 from repro.sim.process import Process
+from repro.sim.sanitizer import CountingRandom, ReplaySanitizer
 
 
 class Handle:
@@ -38,15 +39,23 @@ class Simulator:
     Determinism: events at equal times run in scheduling order, and all
     randomness flows through named, seeded streams from :meth:`rng`, so a
     (seed, workload) pair always replays identically.
+
+    That contract is *checked*, not just promised: ``paranoid=True``
+    attaches a :class:`~repro.sim.sanitizer.ReplaySanitizer` that hashes
+    the executed event trace, counts per-stream RNG draws, and asserts
+    clock monotonicity (raising
+    :class:`~repro.errors.DeterminismError` on violation).  The static
+    side of the contract is enforced by ``python -m repro.analysis lint``.
     """
 
-    def __init__(self, seed=0):
+    def __init__(self, seed=0, paranoid=False):
         self.now = 0.0
         self.seed = seed
         self._heap = []
         self._seq = itertools.count()
         self._rngs = {}
         self._crashes = []
+        self.sanitizer = ReplaySanitizer() if paranoid else None
 
     # -- scheduling ---------------------------------------------------------
     def schedule(self, delay, fn, *args):
@@ -93,9 +102,25 @@ class Simulator:
         """
         stream = self._rngs.get(name)
         if stream is None:
-            stream = random.Random(f"{self.seed}/{name}")
+            seed_material = f"{self.seed}/{name}"
+            if self.sanitizer is not None:
+                stream = CountingRandom(seed_material)
+            else:
+                stream = random.Random(seed_material)
             self._rngs[name] = stream
         return stream
+
+    def rng_draws(self):
+        """Per-stream draw counts, sorted by stream name (paranoid only)."""
+        if self.sanitizer is None:
+            raise SimulationError("rng_draws() requires Simulator(paranoid=True)")
+        return {name: self._rngs[name].draws for name in sorted(self._rngs)}
+
+    def trace_hash(self):
+        """Hash of the executed event trace so far (paranoid only)."""
+        if self.sanitizer is None:
+            raise SimulationError("trace_hash() requires Simulator(paranoid=True)")
+        return self.sanitizer.hexdigest()
 
     # -- execution -----------------------------------------------------------
     def step(self):
@@ -105,6 +130,8 @@ class Simulator:
             if handle.cancelled:
                 continue
             self.now = handle.time
+            if self.sanitizer is not None:
+                self.sanitizer.observe(handle.time, handle.seq, handle.fn)
             handle.fn(*handle.args)
             self._raise_crashes()
             return True
@@ -121,6 +148,8 @@ class Simulator:
                 break
             heapq.heappop(self._heap)
             self.now = handle.time
+            if self.sanitizer is not None:
+                self.sanitizer.observe(handle.time, handle.seq, handle.fn)
             handle.fn(*handle.args)
             self._raise_crashes()
         if until is not None and self.now < until:
@@ -130,6 +159,10 @@ class Simulator:
         """Run until ``event`` triggers (or the heap drains / clock passes
         ``limit``); returns whether the event triggered."""
         while not event.triggered:
+            # Purge cancelled entries first so the limit check below sees
+            # the next event that would actually run.
+            while self._heap and self._heap[0].cancelled:
+                heapq.heappop(self._heap)
             if limit is not None and self._heap and \
                     self._heap[0].time > limit:
                 break

@@ -1,0 +1,24 @@
+"""DET001 positive fixture: randomness outside Simulator.rng streams."""
+
+import random
+from random import choice
+
+import numpy as np
+
+
+def jitter():
+    return random.random() * 10          # DET001: global random stream
+
+
+def make_stream():
+    return random.Random()               # DET001: unseeded Random()
+
+
+def shuffle_replicas(replicas):
+    random.shuffle(replicas)             # DET001: global random stream
+    return choice(replicas)              # DET001: from-imported random fn
+
+
+def numpy_noise(n):
+    rng = np.random.default_rng()        # DET001: unseeded default_rng
+    return rng.normal(size=n) + np.random.rand(n)  # DET001: global numpy

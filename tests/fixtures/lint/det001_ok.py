@@ -1,0 +1,18 @@
+"""DET001 negative fixture: all randomness is explicitly seeded."""
+
+import random
+
+import numpy as np
+
+
+def named_stream(sim):
+    return sim.rng("noise").uniform(1, 10)
+
+
+def private_stream(seed):
+    return random.Random(f"{seed}/private")
+
+
+def numpy_profile(seed):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 100)

@@ -1,0 +1,11 @@
+"""DET002 positive fixture: wall-clock reads in simulation code."""
+
+import time
+from datetime import datetime
+from time import perf_counter
+
+
+def stamp_request(req):
+    req.submitted_wallclock = time.time()        # DET002
+    req.label = datetime.now().isoformat()       # DET002
+    return perf_counter()                        # DET002

@@ -1,0 +1,10 @@
+"""DET003 scope fixture: set iteration outside scheduling dirs is fine.
+
+Result aggregation and report code may iterate sets freely — only
+``sim/``, ``kernel/``, ``devices/`` and ``cluster/`` feed the event heap.
+"""
+
+
+def summarize(tags):
+    seen = set(tags)
+    return [t for t in seen]

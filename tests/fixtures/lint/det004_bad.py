@@ -1,0 +1,15 @@
+"""DET004 positive fixture: float equality between simulation timestamps."""
+
+
+def is_instant(req):
+    return req.complete_time == req.submit_time      # DET004
+
+
+def deadline_hit(sim, req):
+    if sim.now != req.deadline:                      # DET004
+        return False
+    return True
+
+
+def same_slot(a_time, b_time):
+    return a_time == b_time                          # DET004

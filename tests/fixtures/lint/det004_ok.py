@@ -1,0 +1,15 @@
+"""DET004 negative fixture: ordered / tolerance timestamp comparisons."""
+
+EPS = 1e-9
+
+
+def is_instant(req):
+    return abs(req.complete_time - req.submit_time) < EPS
+
+
+def deadline_passed(sim, req):
+    return sim.now >= req.deadline
+
+
+def count_matches(n, expected):
+    return n == expected          # plain value equality is fine

@@ -1,0 +1,26 @@
+"""DET003 positive fixture: unordered iteration in a scheduling path."""
+
+
+class DispatchQueue:
+    def __init__(self):
+        self.pending = set()
+
+    def add(self, req):
+        self.pending.add(req)
+
+    def dispatch_all(self, submit):
+        for req in self.pending:                 # DET003: set iteration
+            submit(req)
+
+    def dispatch_classes(self, trees, submit):
+        for cls in trees.keys():                 # DET003: .keys() iteration
+            submit(cls)
+
+
+def drain(ready):
+    active = {r for r in ready if r.live}
+    return [r.rid for r in active]               # DET003: set-typed name
+
+
+def merge(batches):
+    return [req for req in set().union(*batches)]  # DET003: set() call

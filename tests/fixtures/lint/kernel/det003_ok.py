@@ -1,0 +1,24 @@
+"""DET003 negative fixture: ordered iteration in a scheduling path."""
+
+
+class DispatchQueue:
+    def __init__(self):
+        self.pending = set()
+
+    def add(self, req):
+        self.pending.add(req)
+
+    def dispatch_all(self, submit):
+        for req in sorted(self.pending):         # sorted() fixes the order
+            submit(req)
+
+    def dispatch_classes(self, trees, submit):
+        for cls, tree in trees.items():          # dicts are insertion-ordered
+            submit(cls, tree)
+
+    def count(self):
+        return sum(1 for _ in sorted(self.pending))
+
+
+def merge(batches):
+    return sorted(set().union(*batches))

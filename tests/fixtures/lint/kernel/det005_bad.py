@@ -1,0 +1,15 @@
+"""DET005 positive fixture: heapq mutation outside sim/core.py."""
+
+import heapq
+from heapq import heappop
+
+
+class PrivateTimerWheel:
+    def __init__(self):
+        self.heap = []
+
+    def arm(self, deadline, fn):
+        heapq.heappush(self.heap, (deadline, fn))    # DET005
+
+    def fire(self):
+        return heappop(self.heap)                    # DET005

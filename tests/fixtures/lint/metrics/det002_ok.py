@@ -1,0 +1,10 @@
+"""DET002 negative fixture: the same calls are fine under metrics/."""
+
+import time
+from time import perf_counter
+
+
+def measure(fn):
+    start = perf_counter()
+    fn()
+    return time.time(), perf_counter() - start

@@ -1,0 +1,15 @@
+"""DET005 negative fixture: sim/core.py is the event heap's one owner.
+
+(Also exercises non-mutating heapq reads, allowed anywhere.)
+"""
+
+import heapq
+from heapq import nlargest
+
+
+def push(heap, handle):
+    heapq.heappush(heap, handle)
+
+
+def peek_top3(heap):
+    return nlargest(3, heap)

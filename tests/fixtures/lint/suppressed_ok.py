@@ -1,0 +1,19 @@
+"""Suppression fixture: every violation carries a repro: allow comment."""
+
+import random
+import time
+
+
+def trailing_comment():
+    return random.random()  # repro: allow[DET001] fixture: inline allow
+
+
+def comment_above():
+    # repro: allow[DET002] fixture: comment-above allow, with a
+    # multi-line justification that the suppression must skip over.
+    return time.time()
+
+
+def both_at_once():
+    # repro: allow[DET001, DET002] fixture: multi-id allow
+    return random.random() + time.time()

@@ -1,0 +1,114 @@
+"""Fixture-driven tests for the determinism linter (DET001-DET005)."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import RULES, lint_file, lint_paths
+from repro.analysis.__main__ import main as analysis_main
+from repro.analysis.linter import lint_source, render_findings
+
+FIXTURES = Path(__file__).parent / "fixtures" / "lint"
+
+#: fixture file -> rule IDs that MUST fire there.
+POSITIVE = {
+    "det001_bad.py": "DET001",
+    "det002_bad.py": "DET002",
+    "kernel/det003_bad.py": "DET003",
+    "det004_bad.py": "DET004",
+    "kernel/det005_bad.py": "DET005",
+}
+
+#: fixture file -> rule ID that must NOT fire there.
+NEGATIVE = {
+    "det001_ok.py": "DET001",
+    "metrics/det002_ok.py": "DET002",
+    "kernel/det003_ok.py": "DET003",
+    "det003_nonscheduling_ok.py": "DET003",
+    "det004_ok.py": "DET004",
+    "sim/core.py": "DET005",
+}
+
+
+def rules_in(path):
+    return {f.rule for f in lint_file(FIXTURES / path)}
+
+
+@pytest.mark.parametrize("fixture,rule", sorted(POSITIVE.items()))
+def test_positive_fixture_fires(fixture, rule):
+    assert rule in rules_in(fixture)
+
+
+@pytest.mark.parametrize("fixture,rule", sorted(NEGATIVE.items()))
+def test_negative_fixture_is_silent(fixture, rule):
+    assert rule not in rules_in(fixture)
+
+
+def test_positive_fixtures_only_fire_their_own_rule():
+    for fixture, rule in POSITIVE.items():
+        assert rules_in(fixture) == {rule}, fixture
+
+
+def test_every_rule_has_positive_and_negative_coverage():
+    checkable = set(RULES) - {"DET000"}
+    assert set(POSITIVE.values()) == checkable
+    assert set(NEGATIVE.values()) == checkable
+
+
+def test_suppression_comments_silence_findings():
+    assert lint_file(FIXTURES / "suppressed_ok.py") == []
+
+
+def test_suppression_is_rule_specific():
+    src = "import time\nx = time.time()  # repro: allow[DET001] wrong id\n"
+    findings = lint_source(src, "foo.py")
+    assert [f.rule for f in findings] == ["DET002"]
+
+
+def test_parse_error_reported_as_det000():
+    findings = lint_source("def broken(:\n", "bad.py")
+    assert [f.rule for f in findings] == ["DET000"]
+
+
+def test_lint_paths_walks_directories():
+    findings = lint_paths([FIXTURES])
+    assert {f.rule for f in findings} == set(RULES) - {"DET000"}
+    # Positive fixtures only: every *_ok.py file stays clean.
+    assert all("_ok.py" not in f.path for f in findings)
+
+
+def test_findings_carry_location_and_render():
+    finding = lint_file(FIXTURES / "det001_bad.py")[0]
+    assert finding.line > 0
+    rendered = finding.render()
+    assert "det001_bad.py" in rendered and "DET001" in rendered
+
+
+def test_json_output_round_trips():
+    findings = lint_file(FIXTURES / "det004_bad.py")
+    doc = json.loads(render_findings(findings, fmt="json"))
+    assert doc["count"] == len(findings) > 0
+    assert doc["findings"][0]["rule"] == "DET004"
+    assert doc["findings"][0]["rule_name"] == "float-time-equality"
+
+
+def test_cli_exit_codes(capsys):
+    assert analysis_main(["lint", str(FIXTURES / "det001_ok.py")]) == 0
+    assert analysis_main(["lint", str(FIXTURES / "det001_bad.py")]) == 1
+    assert analysis_main(["rules"]) == 0
+    out = capsys.readouterr().out
+    assert "DET005" in out
+
+
+def test_cli_rule_filter(capsys):
+    code = analysis_main(["lint", str(FIXTURES / "det001_bad.py"),
+                          "--rules", "DET002"])
+    assert code == 0  # DET001 findings filtered out
+    capsys.readouterr()
+
+
+def test_repo_tree_is_clean():
+    src = Path(__file__).parent.parent / "src" / "repro"
+    findings = lint_paths([src])
+    assert findings == [], "\n".join(f.render() for f in findings)
