@@ -21,7 +21,7 @@ from repro.devices import Disk, DiskParams
 from repro.devices.request import BlockRequest, IoOp
 from repro.devices.disk_profile import profile_disk
 from repro.devices.smr import SmrDisk, SmrParams
-from repro.errors import EBUSY
+from repro.errors import is_ebusy
 from repro.extensions import ManagedRuntime, MittGc, MittVmm, Vmm
 from repro.kernel import NoopScheduler, OS
 from repro.metrics.latency import LatencyRecorder
@@ -43,7 +43,7 @@ def vmm_demo():
             start = sim.now
             result = yield mitt.deliver(rng.randrange(3),
                                         deadline_us=deadline)
-            if result is EBUSY:
+            if is_ebusy(result):
                 yield 300.0  # one hop to a machine whose VM is awake
                 yield vmm.deliver(vmm.running_vm(), service_us=100.0)
             recorder.add(sim.now - start)
@@ -71,7 +71,7 @@ def gc_demo():
             start = sim.now
             result = yield mitt.allocate(int(rng.uniform(64, 512)) * KB,
                                          deadline_us=deadline)
-            if result is EBUSY:
+            if is_ebusy(result):
                 yield 300.0  # serve from a replica runtime
                 yield 200.0
             recorder.add(sim.now - start)
@@ -114,7 +114,7 @@ def smr_demo():
             result = yield os_.read(0, rng.randrange(0, 900 * GB)
                                     // 4096 * 4096, 4 * KB,
                                     deadline=25 * MS)
-            if result is EBUSY:
+            if is_ebusy(result):
                 ebusy[0] += 1
                 yield 300.0  # replica failover
             else:

@@ -12,7 +12,7 @@ Run:  python examples/quickstart.py
 from repro._units import GB, KB, MS, SEC, to_ms
 from repro.devices import Disk
 from repro.devices.disk_profile import profile_disk
-from repro.errors import EBUSY
+from repro.errors import is_ebusy
 from repro.kernel import CfqScheduler, OS
 from repro.mittos import MittCfq
 from repro.sim import Simulator
@@ -43,7 +43,7 @@ def main():
                                     deadline=20 * MS)
             elapsed = sim.now - start
             stamp = f"t={to_ms(sim.now):8.1f}ms"
-            if result is EBUSY:
+            if is_ebusy(result):
                 print(f"{stamp}  EBUSY after {elapsed:6.1f}us "
                       "-> failover to a replica, no waiting")
             else:

@@ -11,7 +11,7 @@ Run:  python examples/riak_leveldb.py
 
 from repro._units import MS, SEC
 from repro.cluster import Cluster, Network
-from repro.errors import EBUSY
+from repro.errors import is_ebusy
 from repro.experiments.common import build_lsm_node
 from repro.metrics.latency import LatencyRecorder
 from repro.sim import Simulator
@@ -41,7 +41,7 @@ def main():
             yield cluster.network.hop()
             result = yield node.get(key, None if last else deadline)
             yield cluster.network.hop()
-            if result is not EBUSY:
+            if not is_ebusy(result):
                 return result
             stats["failover"] += 1
         return None

@@ -12,7 +12,7 @@ Run:  python examples/ssd_slo_reads.py
 from repro._units import KB, MS, SEC
 from repro.devices import Ssd, SsdGeometry
 from repro.devices.ssd_profile import SsdLatencyModel, profile_ssd
-from repro.errors import EBUSY
+from repro.errors import is_ebusy
 from repro.kernel import NoopScheduler, OS
 from repro.metrics.latency import LatencyRecorder
 from repro.mittos import MittSsd
@@ -56,7 +56,7 @@ def main():
             start = sim.now
             result = yield primary.read(0, offset, 16 * KB,
                                         deadline=deadline)
-            if result is EBUSY:
+            if is_ebusy(result):
                 failovers += 1
                 yield replica.read(0, offset, 16 * KB)
             latencies.add(sim.now - start)

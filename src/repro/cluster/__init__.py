@@ -1,7 +1,8 @@
 """The distributed layer: nodes, network, replication, client strategies."""
 
 from repro.cluster.cluster import Cluster
+from repro.cluster.health import ReplicaHealth
 from repro.cluster.network import Network
 from repro.cluster.node import StorageNode
 
-__all__ = ["Cluster", "Network", "StorageNode"]
+__all__ = ["Cluster", "Network", "ReplicaHealth", "StorageNode"]

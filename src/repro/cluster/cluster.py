@@ -12,6 +12,10 @@ class Cluster:
     """A set of storage nodes plus replica placement."""
 
     def __init__(self, sim, nodes, network, replication=3, primary_fn=None):
+        if replication < 1:
+            # Strategies index replicas[0] / replicas[-1]; an empty replica
+            # set would crash them with IndexError deep in a process.
+            raise ValueError("replication factor must be at least 1")
         if replication > len(nodes):
             raise ValueError("replication factor exceeds cluster size")
         self.sim = sim
@@ -21,6 +25,14 @@ class Cluster:
         #: Optional override: key -> primary node index.  The §7.1
         #: microbenchmarks direct every request to the noisy node first.
         self.primary_fn = primary_fn
+        #: Installed by ``FaultPlane.arm``: resilience defaults every
+        #: strategy picks up (None = fail-free legacy behaviour, unbounded
+        #: waits allowed) and a shared replica-health tracker.
+        self.fault_plane = None
+        self.default_rpc_timeout_us = None
+        self.default_op_budget_us = None
+        self.default_max_attempts = None
+        self.health = None
 
     def replicas_for(self, key):
         """The key's replica nodes, primary first."""

@@ -15,7 +15,7 @@ conservative mode the paper suggests: on EBUSY, skip replicas still known
 stale for this session, even if that means waiting on the busy one.
 """
 
-from repro.errors import EBUSY
+from repro.errors import is_ebusy
 
 
 class VersionedData:
@@ -109,7 +109,7 @@ def mittos_get_with_guard(sim, cluster, data, session, key, deadline_us,
             yield cluster.network.hop()
             result = yield node.get(key, None if last else deadline_us)
             yield cluster.network.hop()
-            if result is not EBUSY:
+            if not is_ebusy(result):
                 version = data.version(node, key)
                 session.observe(key, version)
                 return version

@@ -1,0 +1,48 @@
+"""Client-side replica health: EWMA failure suspicion, suspects last.
+
+A cheap failure detector in the spirit of Cassandra's dynamic snitch and
+phi-accrual detectors: every RPC outcome feeds a per-replica EWMA of recent
+failures (RPC timeouts, lost replies, EIO — an EBUSY is a *healthy* fast
+answer, not a failure).  ``order()`` keeps the natural replica order for
+healthy nodes — preserving primary locality and the paper's deterministic
+failover sequence — but pushes suspects to the back, so a crashed or
+gray-failing replica stops eating the first-attempt latency on every get.
+
+Deterministic by construction: no clocks, no RNG, stable sorts only.
+"""
+
+
+class ReplicaHealth:
+    """EWMA-of-failures per node; reorders suspect replicas last."""
+
+    def __init__(self, alpha=0.4, suspect_threshold=0.5):
+        self.alpha = alpha
+        self.suspect_threshold = suspect_threshold
+        self._score = {}      # node_id -> failure EWMA in [0, 1]
+        self.recorded = 0
+        self.reorders = 0
+
+    def record(self, node_id, failed):
+        """Feed one RPC outcome (failed = timeout / lost reply / EIO)."""
+        self.recorded += 1
+        prev = self._score.get(node_id, 0.0)
+        sample = 1.0 if failed else 0.0
+        self._score[node_id] = self.alpha * sample + (1.0 - self.alpha) * prev
+
+    def suspicion(self, node_id):
+        return self._score.get(node_id, 0.0)
+
+    def suspect(self, node_id):
+        return self.suspicion(node_id) >= self.suspect_threshold
+
+    def order(self, replicas):
+        """Stable reorder: healthy replicas keep their placement order,
+        suspects go last (least-suspect first among them)."""
+        if not any(self.suspect(node.node_id) for node in replicas):
+            return list(replicas)
+        self.reorders += 1
+        healthy = [n for n in replicas if not self.suspect(n.node_id)]
+        suspects = sorted(
+            (n for n in replicas if self.suspect(n.node_id)),
+            key=lambda n: self.suspicion(n.node_id))
+        return healthy + suspects

@@ -11,6 +11,9 @@ optional jitter term.
 class Network:
     """Hop-latency source for client<->node messaging."""
 
+    #: Endpoint id for "the client side" in :meth:`send` (nodes are >= 0).
+    CLIENT = -1
+
     def __init__(self, sim, hop_us=300.0, jitter_us=15.0,
                  tail_prob=0.0, tail_extra_us=0.0):
         self.sim = sim
@@ -19,6 +22,9 @@ class Network:
         #: Optional heavy-tail component (the paper's ~0.08% Emulab tail).
         self.tail_prob = tail_prob
         self.tail_extra_us = tail_extra_us
+        #: Installed by ``FaultPlane.arm``; None = fail-free network.
+        self.fault_plane = None
+        self.dropped = 0
         self._rng = sim.rng("network")
 
     def hop_latency(self):
@@ -28,5 +34,19 @@ class Network:
         return latency
 
     def hop(self):
-        """An event completing after one network hop."""
+        """An event completing after one network hop (always delivers)."""
+        return self.sim.timeout(self.hop_latency())
+
+    def send(self, src, dst):
+        """One directed message from ``src`` to ``dst`` as an event.
+
+        Delivers after one hop, unless the fault plane decides the message
+        is lost (loss rate or partition) — then the event never fires and
+        only the sender's own timeout can save it, exactly like a dropped
+        datagram.  Fault-free this is byte-identical to :meth:`hop`.
+        """
+        if self.fault_plane is not None and \
+                self.fault_plane.drop_message(src, dst):
+            self.dropped += 1
+            return self.sim.event()  # lost: never fires
         return self.sim.timeout(self.hop_latency())

@@ -7,7 +7,7 @@ the paper built a direct retry path instead, which is what EBUSY results
 model here — no exception cost).
 """
 
-from repro.errors import EBUSY
+from repro.errors import EIO, is_ebusy
 from repro.sim.resources import Semaphore
 
 
@@ -25,7 +25,36 @@ class StorageNode:
         self.handler_cpu_us = handler_cpu_us
         self.handled = 0
         self.ebusy_sent = 0
+        self.read_errors = 0
+        #: Crash-stop state (FaultPlane): a down node swallows requests, and
+        #: replies produced across a crash epoch are lost.
+        self.up = True
+        self.epoch = 0
+        self.crashes = 0
+        #: Gray-failure knob: multiplies request-handler CPU time.
+        self.cpu_slow_factor = 1.0
+        #: Installed by ``FaultPlane.arm``; None = no latent read errors.
+        self.fault_plane = None
         self._tied_listener_installed = False
+
+    # -- crash-stop faults (FaultPlane) -----------------------------------
+    def crash(self):
+        """Crash-stop: drop in-flight replies, reject new work until restart.
+
+        In-simulator state (engine data, caches, device queues) is kept —
+        the crash models the *process/machine* going dark, and a restart
+        recovers from durable state instantly.  Device work already queued
+        keeps running; its replies are discarded via the epoch check.
+        """
+        if not self.up:
+            return
+        self.up = False
+        self.epoch += 1
+        self.crashes += 1
+
+    def restart(self):
+        """Bring a crashed node back (same data, new epoch already set)."""
+        self.up = True
 
     def get(self, key, deadline=None, io_observer=None):
         """Server-side get as a process event: value is EBUSY or a record."""
@@ -84,7 +113,7 @@ class StorageNode:
 
     def _handle_put(self, key):
         self.handled += 1
-        yield self.handler_cpu_us
+        yield self.handler_cpu_us * self.cpu_slow_factor
         result = yield self.sim.process(self.engine.put(key))
         return result
 
@@ -92,13 +121,18 @@ class StorageNode:
         self.handled += 1
         if self.cpu is not None:
             yield self.cpu.acquire()
-        yield self.handler_cpu_us
+        yield self.handler_cpu_us * self.cpu_slow_factor
         try:
             result = yield self.sim.process(
                 self.engine.get(key, deadline, io_observer=io_observer))
         finally:
             if self.cpu is not None:
                 self.cpu.release()
-        if result is EBUSY:
+        if is_ebusy(result):
             self.ebusy_sent += 1
+        elif self.fault_plane is not None and \
+                self.fault_plane.read_error(self.node_id):
+            # Latent sector error: the engine "read" garbage -> EIO.
+            self.read_errors += 1
+            return EIO
         return result

@@ -1,6 +1,63 @@
-"""Strategy machinery + the vanilla and timeout-retry strategies."""
+"""Strategy machinery + the vanilla and timeout-retry strategies.
 
-from repro.errors import EBUSY, EIO
+Resilience plumbing (fault plane): every strategy can run with a
+per-attempt RPC timeout, a per-operation deadline budget, and an attempt
+cap, so that no strategy process can hang — under 100% message loss or a
+fully-crashed replica set each ``get()`` terminates with ``EIO`` in
+bounded simulated time.  The knobs default to ``None`` (the historical
+fail-free behaviour, byte-identical traces); arming a
+:class:`repro.faults.FaultPlane` on the cluster turns them on.
+"""
+
+from repro.errors import EIO, is_ebusy
+
+#: Attempt cap used when an RPC timeout is set but no explicit cap is:
+#: bounds the last-resort retry loop even with an infinite budget.
+DEFAULT_MAX_ATTEMPTS = 12
+
+
+class OpContext:
+    """Per-operation resilience budget.
+
+    One instance per ``get()`` — strategies are shared across concurrent
+    client processes, so per-operation state must travel with the
+    operation, never live on ``self`` (the same race class as the old
+    ``last_rejected_wait`` wait hint).
+    """
+
+    __slots__ = ("start", "budget_us", "rpc_timeout_us", "max_attempts",
+                 "attempts", "timeouts")
+
+    def __init__(self, start, budget_us=None, rpc_timeout_us=None,
+                 max_attempts=None):
+        self.start = start
+        self.budget_us = budget_us
+        self.rpc_timeout_us = rpc_timeout_us
+        self.max_attempts = max_attempts
+        self.attempts = 0
+        self.timeouts = 0
+
+    def remaining_us(self, now):
+        """Budget left (None = unbounded)."""
+        if self.budget_us is None:
+            return None
+        return self.start + self.budget_us - now
+
+    def attempt_limit_us(self, now):
+        """Wait cap for one RPC: min(rpc timeout, remaining budget)."""
+        remaining = self.remaining_us(now)
+        if self.rpc_timeout_us is None:
+            return remaining
+        if remaining is None:
+            return self.rpc_timeout_us
+        return min(self.rpc_timeout_us, remaining)
+
+    def exhausted(self, now):
+        remaining = self.remaining_us(now)
+        if remaining is not None and remaining <= 0:
+            return True
+        return (self.max_attempts is not None
+                and self.attempts >= self.max_attempts)
 
 
 class Strategy:
@@ -8,25 +65,87 @@ class Strategy:
 
     ``get(key)`` returns a process event whose value is the final result
     (a record, ``EIO`` when every choice failed, or — never for well-formed
-    strategies — ``EBUSY``).  Subclasses implement ``_run(key, replicas)``.
+    strategies — ``EBUSY``).  Subclasses implement
+    ``_run(key, replicas, ctx)``.
     """
 
     name = "strategy"
 
-    def __init__(self, cluster):
+    def __init__(self, cluster, rpc_timeout_us=None, op_budget_us=None,
+                 max_attempts=None, backoff_base_us=1000.0,
+                 backoff_cap_us=64000.0, health=None):
         self.cluster = cluster
         self.sim = cluster.sim
         self.network = cluster.network
         self.retries = 0
         self.duplicates = 0
+        self.rpc_timeouts = 0
+        self.eio_failovers = 0
+        #: Resilience knobs; ``None`` falls back to the cluster defaults
+        #: (which a FaultPlane sets when armed).
+        self.rpc_timeout_us = rpc_timeout_us
+        self.op_budget_us = op_budget_us
+        self.max_attempts = max_attempts
+        self.backoff_base_us = backoff_base_us
+        self.backoff_cap_us = backoff_cap_us
+        self._health = health
+        #: Bound lazily so fault-free runs never open the stream.
+        self._backoff_rng = None
 
     def get(self, key):
         replicas = self.cluster.replicas_for(key)
-        return self.sim.process(self._run(key, replicas))
+        health = self.health
+        if health is not None:
+            replicas = health.order(replicas)
+        return self.sim.process(self._run(key, replicas, self._op_context()))
 
-    def _run(self, key, replicas):
+    def _run(self, key, replicas, ctx):
         raise NotImplementedError
         yield  # pragma: no cover
+
+    # -- resilience plumbing ----------------------------------------------
+    @property
+    def health(self):
+        if self._health is not None:
+            return self._health
+        return self.cluster.health
+
+    def _op_context(self):
+        rpc = self.rpc_timeout_us
+        if rpc is None:
+            rpc = self.cluster.default_rpc_timeout_us
+        budget = self.op_budget_us
+        if budget is None:
+            budget = self.cluster.default_op_budget_us
+        cap = self.max_attempts
+        if cap is None:
+            cap = self.cluster.default_max_attempts
+        if cap is None and rpc is not None:
+            cap = DEFAULT_MAX_ATTEMPTS
+        return OpContext(self.sim.now, budget_us=budget, rpc_timeout_us=rpc,
+                         max_attempts=cap)
+
+    def _note_result(self, node, value):
+        """Feed the health tracker one completed RPC (EBUSY is healthy)."""
+        health = self.health
+        if health is not None:
+            health.record(node.node_id, value is EIO)
+
+    def _note_timeout(self, node):
+        """Feed the health tracker one timed-out / lost RPC."""
+        self.rpc_timeouts += 1
+        health = self.health
+        if health is not None:
+            health.record(node.node_id, True)
+
+    def _backoff_us(self, round_no):
+        """Deterministic exponential backoff with jitter (named stream)."""
+        if self._backoff_rng is None:
+            self._backoff_rng = self.sim.rng("strategy/backoff")
+        base = min(self.backoff_base_us * (2 ** round_no),
+                   self.backoff_cap_us)
+        # "Equal jitter": U[base/2, base) — spreads retries, keeps a floor.
+        return base / 2 + self._backoff_rng.random() * (base / 2)
 
     # -- helpers ---------------------------------------------------------
     def _attempt(self, node, key, deadline=None):
@@ -34,16 +153,130 @@ class Strategy:
         return self.sim.process(self._attempt_gen(node, key, deadline))
 
     def _attempt_gen(self, node, key, deadline):
-        yield self.network.hop()
+        net = self.network
+        yield net.send(net.CLIENT, node.node_id)
+        if not node.up:
+            # Crashed server: the request is swallowed; only the caller's
+            # timeout can end this attempt.
+            yield self.sim.event()
+        epoch = node.epoch
         result = yield node.get(key, deadline)
-        yield self.network.hop()
+        if not node.up or node.epoch != epoch:
+            # The node crashed while serving: the reply is lost.
+            yield self.sim.event()
+        yield net.send(node.node_id, net.CLIENT)
         return result
 
     def _race(self, event, timeout_us):
-        """Wait for ``event`` or a timeout; returns (finished, value)."""
-        timer = self.sim.timeout(timeout_us, EIO)
+        """Wait for ``event`` or a timeout; returns (finished, value).
+
+        The timer is cancelled when the event wins, so long runs don't
+        accumulate dead timeout entries in the heap (and ``sim.run()``
+        doesn't chase a far-future timer that lost its race).
+        """
+        timer = self.sim.event()
+        handle = self.sim.schedule(timeout_us, timer.try_succeed, EIO)
         idx, value = yield self.sim.any_of([event, timer])
-        return idx == 0, (value if idx == 0 else None)
+        if idx == 0:
+            handle.cancel()
+            return True, value
+        return False, None
+
+    def _timed_attempt(self, node, key, deadline, ctx, cap_us=None):
+        """One RPC bounded by the op context; (finished, value).
+
+        ``finished`` is False when the RPC timed out (or the budget was
+        already gone).  ``cap_us`` tightens the bound further (e.g. a
+        deadline-derived cap) but only when the context is bounded at all.
+        With no context bounds this is a plain attempt — byte-identical to
+        the fail-free path.
+        """
+        limit = ctx.attempt_limit_us(self.sim.now)
+        if limit is not None and cap_us is not None:
+            limit = min(limit, cap_us)
+        if limit is not None and limit <= 0:
+            return False, None
+        ctx.attempts += 1
+        attempt = self._attempt(node, key, deadline)
+        if limit is None:
+            value = yield attempt
+            self._note_result(node, value)
+            return True, value
+        finished, value = yield from self._race(attempt, limit)
+        if finished:
+            self._note_result(node, value)
+            return True, value
+        ctx.timeouts += 1
+        self._note_timeout(node)
+        return False, None
+
+    def _last_resort(self, key, candidates, ctx, deadline=None):
+        """The bounded last resort: cycle ``candidates`` with exponential
+        backoff until a real record arrives or the budget/attempt cap runs
+        out, then give up with ``EIO``.
+
+        With no RPC timeout configured this degenerates to the historical
+        single unbounded attempt on ``candidates[0]``.
+        """
+        if ctx.rpc_timeout_us is None:
+            ctx.attempts += 1
+            result = yield self._attempt(candidates[0], key, deadline)
+            self._note_result(candidates[0], result)
+            return result
+        round_no = 0
+        while not ctx.exhausted(self.sim.now):
+            for node in candidates:
+                if ctx.exhausted(self.sim.now):
+                    break
+                finished, value = yield from self._timed_attempt(
+                    node, key, deadline, ctx)
+                if finished and value is EIO:
+                    self.eio_failovers += 1
+                    continue
+                if finished and not is_ebusy(value):
+                    return value
+            remaining = ctx.remaining_us(self.sim.now)
+            if remaining is not None and remaining <= 0:
+                break
+            delay = self._backoff_us(round_no)
+            if remaining is not None:
+                delay = min(delay, remaining)
+            yield delay
+            round_no += 1
+        return EIO
+
+    def _first_good(self, events, ctx, nodes=None):
+        """First non-error completion among ``events``; EIO when none.
+
+        Bounded by the op context: if the context carries a limit and the
+        remaining events never answer within it, gives up with EIO instead
+        of waiting forever on lost messages.
+        """
+        pending = list(events)
+        sources = list(nodes) if nodes is not None else [None] * len(pending)
+        while pending:
+            limit = ctx.attempt_limit_us(self.sim.now)
+            if limit is None:
+                idx, value = yield self.sim.any_of(pending)
+            else:
+                if limit <= 0:
+                    return EIO
+                finished, raced = yield from self._race(
+                    self.sim.any_of(pending), limit)
+                if not finished:
+                    self.rpc_timeouts += 1
+                    return EIO
+                idx, value = raced
+            node = sources[idx]
+            if node is not None:
+                self._note_result(node, value)
+            if not is_ebusy(value) and value is not EIO:
+                return value
+            if value is EIO:
+                self.eio_failovers += 1
+            pending.pop(idx)
+            sources.pop(idx)
+        return EIO
 
 
 class BaseStrategy(Strategy):
@@ -57,17 +290,24 @@ class BaseStrategy(Strategy):
 
     name = "base"
 
-    def __init__(self, cluster, timeout_us=30_000_000.0):
-        super().__init__(cluster)
+    def __init__(self, cluster, timeout_us=30_000_000.0, **kwargs):
+        super().__init__(cluster, **kwargs)
         self.timeout_us = timeout_us
         self.timeouts = 0
 
-    def _run(self, key, replicas):
-        attempt = self._attempt(replicas[0], key)
-        finished, value = yield from self._race(attempt, self.timeout_us)
+    def _run(self, key, replicas, ctx):
+        node = replicas[0]
+        timeout = self.timeout_us
+        limit = ctx.attempt_limit_us(self.sim.now)
+        if limit is not None:
+            timeout = min(timeout, limit)
+        attempt = self._attempt(node, key)
+        finished, value = yield from self._race(attempt, timeout)
         if not finished:
             self.timeouts += 1
+            self._note_timeout(node)
             return EIO
+        self._note_result(node, value)
         return value
 
 
@@ -76,24 +316,37 @@ class AppToStrategy(Strategy):
 
     Wait ``timeout_us`` (the p95 deadline), cancel the try, move to the next
     replica; the third try runs without a timeout so users never see IO
-    errors while a replica can still answer.
+    errors while a replica can still answer.  Under an armed fault plane
+    the "without a timeout" part is bounded by the op budget instead, and a
+    replica answering EIO (latent read error) also triggers failover.
     """
 
     name = "appto"
 
-    def __init__(self, cluster, timeout_us):
-        super().__init__(cluster)
+    def __init__(self, cluster, timeout_us, **kwargs):
+        super().__init__(cluster, **kwargs)
         self.timeout_us = timeout_us
 
-    def _run(self, key, replicas):
-        for i, node in enumerate(replicas):
-            last = i == len(replicas) - 1
+    def _run(self, key, replicas, ctx):
+        for node in replicas[:-1]:
+            timeout = self.timeout_us
+            limit = ctx.attempt_limit_us(self.sim.now)
+            if limit is not None:
+                if limit <= 0:
+                    return EIO
+                timeout = min(timeout, limit)
+            ctx.attempts += 1
             attempt = self._attempt(node, key)
-            if last:
-                result = yield attempt
-                return result
-            finished, value = yield from self._race(attempt, self.timeout_us)
+            finished, value = yield from self._race(attempt, timeout)
             if finished:
+                self._note_result(node, value)
+                if value is EIO:
+                    self.eio_failovers += 1
+                    self.retries += 1
+                    continue
                 return value
             self.retries += 1  # timed out; abandon and go to next replica
-        return EIO
+            self._note_timeout(node)
+        order = [replicas[-1]] + list(replicas[:-1])
+        result = yield from self._last_resort(key, order, ctx)
+        return result

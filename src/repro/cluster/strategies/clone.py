@@ -14,13 +14,13 @@ class CloneStrategy(Strategy):
 
     name = "clone"
 
-    def __init__(self, cluster):
-        super().__init__(cluster)
+    def __init__(self, cluster, **kwargs):
+        super().__init__(cluster, **kwargs)
         self._rng = cluster.sim.rng("strategy/clone")
 
-    def _run(self, key, replicas):
+    def _run(self, key, replicas, ctx):
         pair = self._rng.sample(replicas, 2)
         self.duplicates += 1
         attempts = [self._attempt(node, key) for node in pair]
-        _, value = yield self.sim.any_of(attempts)
-        return value
+        result = yield from self._first_good(attempts, ctx, nodes=pair)
+        return result

@@ -7,6 +7,7 @@ waiting MittOS eliminates.
 """
 
 from repro.cluster.strategies.base import Strategy
+from repro.errors import EIO
 
 
 class HedgedStrategy(Strategy):
@@ -14,19 +15,26 @@ class HedgedStrategy(Strategy):
 
     name = "hedged"
 
-    def __init__(self, cluster, hedge_delay_us):
-        super().__init__(cluster)
+    def __init__(self, cluster, hedge_delay_us, **kwargs):
+        super().__init__(cluster, **kwargs)
         self.hedge_delay_us = hedge_delay_us
         self._rng = cluster.sim.rng("strategy/hedged")
 
-    def _run(self, key, replicas):
-        first = self._attempt(replicas[0], key)
+    def _run(self, key, replicas, ctx):
+        first_node = replicas[0]
+        first = self._attempt(first_node, key)
         finished, value = yield from self._race(first, self.hedge_delay_us)
         if finished:
-            return value
+            self._note_result(first_node, value)
+            if value is not EIO:
+                return value
+            self.eio_failovers += 1
         # Hedge fires: duplicate to one of the other replicas (the first
-        # try is NOT cancelled; both keep running).
+        # try is NOT cancelled; both keep running).  Bounded by the op
+        # context, so two lost RPCs end in EIO instead of a hang.
         self.duplicates += 1
-        second = self._attempt(self._rng.choice(replicas[1:]), key)
-        _, value = yield self.sim.any_of([first, second])
-        return value
+        second_node = self._rng.choice(replicas[1:])
+        second = self._attempt(second_node, key)
+        result = yield from self._first_good([first, second], ctx,
+                                             nodes=[first_node, second_node])
+        return result

@@ -13,6 +13,7 @@ ranking reacts, the noise has moved.
 """
 
 from repro.cluster.strategies.base import Strategy
+from repro.errors import EIO
 
 
 class SnitchStrategy(Strategy):
@@ -20,8 +21,9 @@ class SnitchStrategy(Strategy):
 
     name = "snitch"
 
-    def __init__(self, cluster, alpha=0.3, ranking_interval_us=500_000.0):
-        super().__init__(cluster)
+    def __init__(self, cluster, alpha=0.3, ranking_interval_us=500_000.0,
+                 **kwargs):
+        super().__init__(cluster, **kwargs)
         self.alpha = alpha
         self.ranking_interval_us = ranking_interval_us
         self._ewma = {}           # node_id -> latency estimate (µs)
@@ -45,7 +47,7 @@ class SnitchStrategy(Strategy):
             self._ewma[node.node_id] = (self.alpha * latency
                                         + (1 - self.alpha) * prev)
 
-    def _run(self, key, replicas):
+    def _run(self, key, replicas, ctx):
         # Like Cassandra's dynamic snitch: stay on the natural primary
         # unless its frozen score is noticeably worse than the best
         # alternative (badness threshold), which also avoids herding every
@@ -57,8 +59,16 @@ class SnitchStrategy(Strategy):
         if self._score(primary) > 1.5 * self._score(best) + 5000.0:
             node = best
         start = self.sim.now
-        result = yield self._attempt(node, key)
-        self._observe(node, self.sim.now - start)
+        finished, result = yield from self._timed_attempt(node, key, None,
+                                                          ctx)
+        if finished:
+            self._observe(node, self.sim.now - start)
+            if result is not EIO:
+                return result
+            self.eio_failovers += 1
+        # Lost RPC or latent read error: fail over to the other replicas.
+        others = [n for n in replicas if n is not node] or [node]
+        result = yield from self._last_resort(key, others, ctx)
         return result
 
 
@@ -68,8 +78,8 @@ class C3Strategy(Strategy):
     name = "c3"
 
     def __init__(self, cluster, alpha=0.5, queue_weight_us=200.0,
-                 explore=0.1):
-        super().__init__(cluster)
+                 explore=0.1, **kwargs):
+        super().__init__(cluster, **kwargs)
         self.alpha = alpha
         self.queue_weight_us = queue_weight_us
         #: Occasional random picks keep stale scores fresh and curb
@@ -94,12 +104,19 @@ class C3Strategy(Strategy):
         self._queue[nid] = (self.alpha * q
                             + (1 - self.alpha) * self._queue.get(nid, q))
 
-    def _run(self, key, replicas):
+    def _run(self, key, replicas, ctx):
         if self._rng.random() < self.explore:
             node = self._rng.choice(replicas)
         else:
             node = min(replicas, key=self._score)
         start = self.sim.now
-        result = yield self._attempt(node, key)
-        self._observe(node, self.sim.now - start)
+        finished, result = yield from self._timed_attempt(node, key, None,
+                                                          ctx)
+        if finished:
+            self._observe(node, self.sim.now - start)
+            if result is not EIO:
+                return result
+            self.eio_failovers += 1
+        others = [n for n in replicas if n is not node] or [node]
+        result = yield from self._last_resort(key, others, ctx)
         return result

@@ -7,10 +7,15 @@ device absorbs requests immediately, the begin-execution moment is
 invisible, and there is no revocation path.  Our simulator can see device
 dispatch, so this implementation is an **upper bound** on what tied
 requests could achieve with perfect OS support (noted in EXPERIMENTS.md).
+
+Requests and replies traverse the cluster network (and can be lost or
+partitioned by the fault plane); the begin-execution signal is modelled as
+a reliable side channel once the request has reached its server — another
+upper-bound idealisation.
 """
 
 from repro.cluster.strategies.base import Strategy
-from repro.errors import EBUSY, EIO
+from repro.errors import EIO
 
 
 class TiedStrategy(Strategy):
@@ -18,25 +23,43 @@ class TiedStrategy(Strategy):
 
     name = "tied"
 
-    def __init__(self, cluster, tie_delay_us=1000.0):
-        super().__init__(cluster)
+    def __init__(self, cluster, tie_delay_us=1000.0, **kwargs):
+        super().__init__(cluster, **kwargs)
         self.tie_delay_us = tie_delay_us
         self._rng = cluster.sim.rng("strategy/tied")
         self.cancellations = 0
 
-    def _run(self, key, replicas):
+    def _run(self, key, replicas, ctx):
         node_a = replicas[0]
         node_b = self._rng.choice(replicas[1:])
 
-        ev_a, cancel_a, began_a = node_a.get_cancellable(key)
+        ev_a, cancel_a, began_a = self._tied_get(node_a, key)
         finished, value = yield from self._race(ev_a, self.tie_delay_us)
         if finished:
-            return value
+            self._note_result(node_a, value)
+            if value is not EIO:
+                return value
+            self.eio_failovers += 1
 
         self.duplicates += 1
-        ev_b, cancel_b, began_b = node_b.get_cancellable(key)
+        ev_b, cancel_b, began_b = self._tied_get(node_b, key)
         # Whichever copy begins execution first cancels its counterpart.
-        idx, _ = yield self.sim.any_of([began_a, began_b])
+        began = self.sim.any_of([began_a, began_b])
+        limit = ctx.attempt_limit_us(self.sim.now)
+        if limit is None:
+            idx, _ = yield began
+        else:
+            if limit <= 0:
+                return EIO
+            began_finished, raced = yield from self._race(began, limit)
+            if not began_finished:
+                # Both copies lost / both servers dark: revoke and give up.
+                cancel_a()
+                cancel_b()
+                self._note_timeout(node_a)
+                self._note_timeout(node_b)
+                return EIO
+            idx, _ = raced
         self.cancellations += 1
         if idx == 0:
             cancel_b()
@@ -44,15 +67,38 @@ class TiedStrategy(Strategy):
             cancel_a()
 
         # Take the first non-cancelled reply (a cancelled copy reports
-        # EBUSY through the normal completion path).
-        result = yield from self._first_real([ev_a, ev_b])
+        # EBUSY through the normal completion path); bounded by the op
+        # context so a lost reply cannot hang the client.
+        result = yield from self._first_good([ev_a, ev_b], ctx,
+                                             nodes=[node_a, node_b])
         return result
 
-    def _first_real(self, events):
-        pending = list(events)
-        while pending:
-            idx, value = yield self.sim.any_of(pending)
-            if value is not EBUSY:
-                return value
-            pending.pop(idx)
-        return EIO
+    def _tied_get(self, node, key):
+        """Network-aware tied get: (reply event, cancel fn, began event)."""
+        began = self.sim.event()
+        state = {"server_cancel": None, "cancelled": False}
+
+        def cancel():
+            state["cancelled"] = True
+            if state["server_cancel"] is not None:
+                state["server_cancel"]()
+
+        ev = self.sim.process(self._tied_get_gen(node, key, began, state))
+        return ev, cancel, began
+
+    def _tied_get_gen(self, node, key, began, state):
+        net = self.network
+        yield net.send(net.CLIENT, node.node_id)
+        if not node.up:
+            yield self.sim.event()  # request swallowed by a dead server
+        server_ev, server_cancel, server_began = node.get_cancellable(key)
+        state["server_cancel"] = server_cancel
+        server_began.add_callback(lambda e: began.try_succeed(e._value))
+        if state["cancelled"]:
+            server_cancel()  # the cancel raced ahead of the request
+        epoch = node.epoch
+        result = yield server_ev
+        if not node.up or node.epoch != epoch:
+            yield self.sim.event()  # reply lost in the crash
+        yield net.send(node.node_id, net.CLIENT)
+        return result

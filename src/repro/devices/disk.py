@@ -67,6 +67,13 @@ class Disk:
         self._completion_interceptor = None
         #: Total IOs completed (for experiments' sanity checks).
         self.completed = 0
+        #: Fail-slow hooks (FaultPlane): a multiplier on every true service
+        #: time and an optional per-IO extra-latency callable (GC pauses,
+        #: media retries).  Predictors keep using the *clean* model, so a
+        #: device storm shows up as prediction error — the gray-failure
+        #: setting the fault plane is built to study.
+        self.latency_scale = 1.0
+        self.fault_latency_extra = None
 
     # -- scheduler-facing API ------------------------------------------------
     @property
@@ -123,6 +130,9 @@ class Disk:
         if self._rng.random() < self.params.hiccup_prob:
             lo, hi = self.params.hiccup_range_us
             t += self._rng.uniform(lo, hi)
+        t *= self.latency_scale
+        if self.fault_latency_extra is not None:
+            t += self.fault_latency_extra()
         return max(t, 1 * US)
 
     # -- internal service loop ------------------------------------------------

@@ -115,6 +115,10 @@ class Ssd:
         self._ftl = {}
         self._write_chip_rr = 0
         self._drain_callbacks = []
+        #: Fail-slow hooks (FaultPlane): scales cell/erase times and adds
+        #: optional per-op extra latency (GC storms, media retries).
+        self.latency_scale = 1.0
+        self.fault_latency_extra = None
         #: Host-side command observers (LightNVM: the host issues every chip
         #: command and receives per-command completions, so MittSSD can keep
         #: its own chip timelines without peeking at device internals).
@@ -301,9 +305,13 @@ class Ssd:
         geo = self.geometry
         now = self.sim.now
         jitter = max(0.5, self._rng.gauss(1.0, geo.jitter_frac))
+        if self.latency_scale != 1.0:
+            jitter *= self.latency_scale  # fail-slow storm (FaultPlane)
         channel = chip.channel
         xfer = geo.channel_xfer_us
         cell_time = max(0.0, duration - xfer) * jitter
+        if self.fault_latency_extra is not None:
+            cell_time += self.fault_latency_extra()
         if op_kind == "read":
             chip_ready = max(chip.next_free, now) + cell_time
             xfer_start = max(chip_ready, self._channel_next_free[channel])

@@ -19,7 +19,7 @@ abandoned, matching "the returned EBUSY is propagated to Riak").
 from repro._units import KB
 from repro.devices.request import IoClass
 from repro.engines.mmap_engine import GetRecord
-from repro.errors import EBUSY
+from repro.errors import is_ebusy
 
 
 class SsTable:
@@ -134,9 +134,9 @@ class LsmEngine:
             result = yield self.os.read(
                 self.file_id, table.block_offset(key), table.block_size,
                 pid=self.pid, deadline=deadline, io_observer=io_observer)
-            if result is EBUSY:
+            if is_ebusy(result):
                 self.ebusy += 1
-                return EBUSY  # propagate up (Riak does the failover)
+                return result  # propagate up (Riak does the failover)
             if key in table.keys:
                 return GetRecord(key, False, self.sim.now - start)
             # bloom false positive: keep searching older tables

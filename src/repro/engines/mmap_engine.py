@@ -15,7 +15,7 @@ Either way the engine returns ``EBUSY`` (no exception: the paper's
 "exceptionless retry path") or a :class:`GetRecord`.
 """
 
-from repro.errors import EBUSY
+from repro.errors import is_ebusy
 
 
 class GetRecord:
@@ -58,18 +58,18 @@ class MMapEngine:
         if self.use_addrcheck and deadline is not None:
             yield self.os.params.addrcheck_us
             verdict = self.os.addrcheck(self.file_id, offset, size, deadline)
-            if verdict is EBUSY:
+            if is_ebusy(verdict):
                 self.ebusy += 1
-                return EBUSY
+                return verdict
             # Admitted: dereference/read without re-checking the deadline.
             deadline = None
 
         result = yield self.os.read(self.file_id, offset, size, pid=self.pid,
                                     deadline=deadline,
                                     io_observer=io_observer)
-        if result is EBUSY:
+        if is_ebusy(result):
             self.ebusy += 1
-            return EBUSY
+            return result
         return GetRecord(key, result.cache_hit, self.os.sim.now - start)
 
     def put(self, key, io_observer=None):

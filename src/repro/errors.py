@@ -30,6 +30,40 @@ EBUSY = _Errno("EBUSY")
 EIO = _Errno("EIO")
 
 
+class EBusy:
+    """A *rich* EBUSY response (§8.1's "richer interface" extension).
+
+    Semantically identical to the ``EBUSY`` sentinel (falsy, means "rejected,
+    fail over now"), but carries the predicted wait of the rejecting node on
+    the response itself.  Each rejection mints a fresh instance, so the hint
+    is per-request — concurrent requests can no longer overwrite each
+    other's wait (the race a shared ``predictor.last_rejected_wait`` had).
+
+    Call sites must use :func:`is_ebusy`, which accepts both the plain
+    sentinel and rich instances.
+    """
+
+    __slots__ = ("predicted_wait",)
+
+    name = "EBUSY"
+
+    def __init__(self, predicted_wait=None):
+        self.predicted_wait = predicted_wait
+
+    def __repr__(self):
+        if self.predicted_wait is None:
+            return "EBUSY"
+        return f"EBUSY(wait={self.predicted_wait:.0f}us)"
+
+    def __bool__(self):
+        return False
+
+
+def is_ebusy(result):
+    """True for the ``EBUSY`` sentinel and rich :class:`EBusy` responses."""
+    return result is EBUSY or isinstance(result, EBusy)
+
+
 class SimulationError(Exception):
     """Base class for errors raised by the simulation framework itself."""
 

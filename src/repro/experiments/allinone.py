@@ -19,7 +19,7 @@ from repro.cluster import Network
 from repro.devices import Disk, Ssd, SsdGeometry
 from repro.devices.ssd_profile import SsdLatencyModel
 from repro.engines import KeySpace
-from repro.errors import EBUSY
+from repro.errors import is_ebusy
 from repro.experiments.common import (ExperimentResult, disk_latency_model,
                                       percentile_rows)
 from repro.kernel import CfqScheduler, NoopScheduler, OS, PageCache
@@ -122,7 +122,7 @@ def _run_user(sim, replicas, network, region, deadline, mitt, n_ops,
                 yield network.hop()
                 result = yield replica.get(region, key, dl)
                 yield network.hop()
-                if result is not EBUSY:
+                if not is_ebusy(result):
                     break
             recorder.add(sim.now - start)
             yield 3 * MS

@@ -18,6 +18,8 @@ EXPERIMENTS = {
     "fig13": ("repro.experiments.fig13", "Riak + LevelDB (Figure 13)"),
     "allinone": ("repro.experiments.allinone", "All resources at once (7.8.5)"),
     "writes": ("repro.experiments.writes", "Write latencies (7.8.6)"),
+    "faultsweep": ("repro.experiments.faultsweep",
+                   "Fault plane: tails + availability under failures"),
 }
 
 

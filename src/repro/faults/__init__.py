@@ -1,0 +1,26 @@
+"""Cluster-scale failure injection (the fault plane).
+
+Declarative, deterministic, seed-reproducible faults for the cluster
+layer: crash-stop windows, gray failures (fail-slow CPU/device), message
+loss and partitions, device storms, latent read errors, and the paper's
+§7.7 decision-flip injector folded in as one member.
+
+Usage::
+
+    spec = FaultSpec(crashes=(CrashWindow(node=1, start_us=2 * SEC,
+                                          duration_us=3 * SEC),),
+                     message_loss=(MessageLoss(rate=0.05),))
+    plane = FaultPlane(sim, spec)
+    env = build_disk_cluster(sim, 9,
+                             fault_injector=plane.decision_injector)
+    plane.arm(env.cluster)
+"""
+
+from repro.faults.plane import FaultPlane
+from repro.faults.spec import (CrashWindow, DeviceStorm, FailSlow, FaultSpec,
+                               MessageLoss, Partition, ReadErrors)
+from repro.mittos.faults import FaultInjector
+
+__all__ = ["FaultPlane", "FaultSpec", "CrashWindow", "FailSlow",
+           "MessageLoss", "Partition", "DeviceStorm", "ReadErrors",
+           "FaultInjector"]

@@ -15,7 +15,7 @@ for SLO admission:
 
 from repro._units import KB
 from repro.devices.request import BlockRequest, IoClass, IoOp
-from repro.errors import EBUSY
+from repro.errors import is_ebusy
 
 
 class FlashCache:
@@ -76,7 +76,7 @@ class FlashCache:
         return ev
 
     def _maybe_promote(self, event, offset, size):
-        if not event.ok or event._value is EBUSY:
+        if not event.ok or is_ebusy(event._value):
             return
         extent = self._extent_of(offset)
         count = self._access_counts.get(extent, 0) + 1

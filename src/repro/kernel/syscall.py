@@ -17,7 +17,7 @@ Idle priority — the reason user-facing write latency is flat (§7.8.6).
 
 from repro._units import MS, US
 from repro.devices.request import BlockRequest, IoClass, IoOp
-from repro.errors import EBUSY
+from repro.errors import EBusy
 
 
 class OsParams:
@@ -110,14 +110,15 @@ class OS:
                 if self.cache is not None:
                     # Fairness caveat (§4.4): keep populating the cache.
                     self.cache.note_ebusy_swapin(file_id, offset, size)
-                self.sim.schedule(self.params.ebusy_us, ev.try_succeed, EBUSY)
+                self.sim.schedule(self.params.ebusy_us, ev.try_succeed,
+                                  EBusy(verdict.predicted_wait))
                 return ev
 
         def on_complete(done_req):
             if done_req.cancelled:
                 # Late rejection (MittCFQ bump-back): EBUSY after the fact.
                 self.ebusy_returned += 1
-                ev.try_succeed(EBUSY)
+                ev.try_succeed(EBusy(done_req.predicted_wait))
                 return
             if self.cache is not None:
                 self.cache.insert(file_id, offset, size)
@@ -153,12 +154,12 @@ class OS:
             if not verdict.accept:
                 self.ebusy_returned += 1
                 self.cache.note_ebusy_swapin(file_id, offset, size)
-                return EBUSY
+                return EBusy(verdict.predicted_wait)
             return True
         if deadline < self._min_io_latency(size):
             self.ebusy_returned += 1
             self.cache.note_ebusy_swapin(file_id, offset, size)
-            return EBUSY
+            return EBusy()
         return True
 
     def _min_io_latency(self, size):

@@ -11,7 +11,7 @@ will actually serve it — the composition the paper demonstrates by running
 all three microbenchmark noises at once.
 """
 
-from repro.errors import EBUSY
+from repro.errors import EBUSY, is_ebusy
 from repro.kernel.syscall import ReadResult
 
 
@@ -46,9 +46,9 @@ class TieredStack:
                 ev.fail(done.exception)
                 return
             result = done._value
-            if result is EBUSY:
+            if is_ebusy(result):
                 self.ebusy_returned += 1
-                ev.try_succeed(EBUSY)
+                ev.try_succeed(result)
                 return
             if self.page_cache is not None:
                 self.page_cache.insert(file_id, offset, size)

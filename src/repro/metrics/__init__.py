@@ -1,7 +1,9 @@
 """Latency recording, percentile math, and result formatting."""
 
+from repro.metrics.availability import AvailabilityStats
 from repro.metrics.latency import LatencyRecorder, percentile
 from repro.metrics.reduction import latency_reduction
 from repro.metrics.tables import format_table
 
-__all__ = ["LatencyRecorder", "percentile", "latency_reduction", "format_table"]
+__all__ = ["AvailabilityStats", "LatencyRecorder", "percentile",
+           "latency_reduction", "format_table"]

@@ -1,0 +1,55 @@
+"""Availability and error accounting for faulted cluster runs.
+
+The paper's Table 1 is about *availability* as much as latency: three of
+six NoSQL systems surface IO errors to the user while less-busy replicas
+still hold the data.  Under the fault plane the same question becomes
+quantitative — what fraction of gets returned data, and what fraction
+ended in a user-visible EIO — so the faultsweep experiment reports an
+availability column next to the tail percentiles.
+"""
+
+
+class AvailabilityStats:
+    """User-visible outcome counts for one experiment line."""
+
+    def __init__(self, name=""):
+        self.name = name
+        self.ok = 0
+        self.errors = 0
+
+    def record(self, success):
+        if success:
+            self.ok += 1
+        else:
+            self.errors += 1
+
+    @property
+    def total(self):
+        return self.ok + self.errors
+
+    @property
+    def availability(self):
+        """Fraction of operations that returned data (1.0 when idle)."""
+        if self.total == 0:
+            return 1.0
+        return self.ok / self.total
+
+    @property
+    def error_rate(self):
+        if self.total == 0:
+            return 0.0
+        return self.errors / self.total
+
+    @classmethod
+    def from_recorder(cls, recorder):
+        """Derive from a :class:`LatencyRecorder`: each sample is one user
+        operation; the ``'eio'`` counter tags the failed ones."""
+        stats = cls(recorder.name)
+        errors = recorder.counters.get("eio", 0)
+        stats.errors = errors
+        stats.ok = max(0, len(recorder) - errors)
+        return stats
+
+    def __repr__(self):
+        return (f"<AvailabilityStats {self.name or 'line'} "
+                f"{self.availability:.4f} ({self.ok}/{self.total})>")

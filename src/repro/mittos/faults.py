@@ -8,6 +8,10 @@ effective, by injecting controlled decision errors:
 * false-*positive* injection: when the IO would meet its deadline, with
   probability E return EBUSY anyway — at E=100% every IO fails over and the
   tail is worse than Base.
+
+The injector is also one member of the cluster-scale fault plane
+(``repro.faults``): ``FaultPlane.decision_injector`` builds one on the
+``faults/decision`` stream from the spec's flip rates.
 """
 
 

@@ -6,7 +6,7 @@ keys and completes when *all* S sub-requests have (tail amplified by scale).
 Latencies recorded are client-observed, like all the paper's latency graphs.
 """
 
-from repro.errors import EBUSY, EIO
+from repro.errors import EIO, is_ebusy
 from repro.metrics.latency import LatencyRecorder
 
 
@@ -37,7 +37,7 @@ class YcsbClient:
             for result in results:
                 if result is EIO:
                     self.recorder.count("eio")
-                elif result is EBUSY:
+                elif is_ebusy(result):
                     self.recorder.count("ebusy_leak")
             if self.think_time_us:
                 yield self.think_time_us

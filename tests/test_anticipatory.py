@@ -3,7 +3,7 @@
 from repro._units import GB, KB, MS
 from repro.devices import BlockRequest, Disk, DiskParams, IoOp
 from repro.devices.disk_profile import profile_disk
-from repro.errors import EBUSY
+from repro.errors import is_ebusy
 from repro.kernel import OS
 from repro.kernel.anticipatory import AnticipatoryScheduler
 from repro.mittos.mittanticipatory import MittAnticipatory
@@ -109,7 +109,7 @@ def test_mitt_rejects_during_anticipation_with_tight_deadline(sim):
 
     proc = sim.process(gen())
     sim.run_until(proc)
-    assert proc.value is EBUSY
+    assert is_ebusy(proc.value)
 
 
 def test_cancel_works_under_anticipation(sim):

@@ -4,7 +4,7 @@ import pytest
 
 from repro._units import GB, KB, MB, MS
 from repro.devices import BlockRequest, Disk, DiskParams, IoClass, IoOp
-from repro.errors import EBUSY
+from repro.errors import is_ebusy
 from repro.kernel import CfqScheduler, NoopScheduler, OS
 from repro.kernel.syscall import OsParams
 
@@ -97,7 +97,7 @@ def test_strategy_race_helper_cleans_up(sim):
     proc = sim.process(client())
     sim.run_until(proc, limit=60_000_000)
     assert len(results) == 5
-    assert all(r is not None and r is not EBUSY for r in results)
+    assert all(r is not None and not is_ebusy(r) for r in results)
 
 
 def test_ebusy_is_fast_even_under_extreme_queueing(sim):
@@ -121,7 +121,7 @@ def test_ebusy_is_fast_even_under_extreme_queueing(sim):
     proc = sim.process(gen())
     sim.run_until(proc)
     result, elapsed = proc.value
-    assert result is EBUSY
+    assert is_ebusy(result)
     assert elapsed < 100.0  # microseconds, not a queue wait
 
 

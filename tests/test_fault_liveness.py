@@ -1,0 +1,73 @@
+"""Liveness under total failure: no strategy may hang, ever.
+
+The acceptance bar for the fault plane: with 100% message loss, or with
+every replica crash-stopped, each strategy's ``get()`` must still
+terminate — with ``EIO`` — in bounded simulated time, because the armed
+plane installs per-attempt RPC timeouts, a per-op budget, and an attempt
+cap on the cluster.
+"""
+
+import pytest
+
+from repro._units import MS, SEC
+from repro.cluster.strategies import STRATEGIES
+from repro.errors import EIO
+from repro.experiments.common import build_disk_cluster, make_strategy
+from repro.faults import CrashWindow, FaultPlane, FaultSpec
+
+#: Tight budget so the whole matrix stays cheap.
+KNOBS = dict(rpc_timeout_us=50 * MS, op_budget_us=1 * SEC, max_attempts=6)
+LIMIT = 30 * SEC
+
+
+def _armed_env(sim, spec):
+    env = build_disk_cluster(sim, 4)
+    FaultPlane(sim, spec).arm(env.cluster)
+    return env
+
+
+def _strategy(name, cluster):
+    return make_strategy(name, cluster, deadline_us=15 * MS)
+
+
+@pytest.mark.parametrize("name", sorted(STRATEGIES))
+def test_total_message_loss_yields_eio_in_bounded_time(sim, name):
+    from repro.faults import MessageLoss
+    spec = FaultSpec(message_loss=(MessageLoss(rate=1.0),), **KNOBS)
+    env = _armed_env(sim, spec)
+    strategy = _strategy(name, env.cluster)
+    ev = strategy.get(1)
+    assert sim.run_until(ev, limit=LIMIT), f"{name} hung under 100% loss"
+    assert ev.value is EIO
+    assert sim.now < 10 * SEC  # budget + backoff, not the 30 s horizon
+
+
+@pytest.mark.parametrize("name", sorted(STRATEGIES))
+def test_all_replicas_crashed_yields_eio_in_bounded_time(sim, name):
+    spec = FaultSpec(
+        crashes=tuple(CrashWindow(node=i, start_us=0.0) for i in range(4)),
+        **KNOBS)
+    env = _armed_env(sim, spec)
+    strategy = _strategy(name, env.cluster)
+    ev = strategy.get(1)
+    assert sim.run_until(ev, limit=LIMIT), f"{name} hung on a dead cluster"
+    assert ev.value is EIO
+    assert sim.now < 10 * SEC
+
+
+def test_mittos_survives_single_crash_without_user_errors(sim):
+    """One dead replica out of four: EBUSY/timeout failover still delivers
+    data — the paper's no-user-visible-errors property under faults."""
+    spec = FaultSpec(crashes=(CrashWindow(node=0, start_us=0.0),), **KNOBS)
+    env = _armed_env(sim, spec)
+    strategy = _strategy("mittos", env.cluster)
+
+    def client():
+        results = []
+        for key in range(10):
+            results.append((yield strategy.get(key)))
+        return results
+
+    proc = sim.process(client())
+    assert sim.run_until(proc, limit=LIMIT)
+    assert all(value is not EIO for value in proc.value)

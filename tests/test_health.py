@@ -1,0 +1,70 @@
+"""Tests of the client-side replica health tracker."""
+
+from repro.cluster.health import ReplicaHealth
+
+
+class _FakeNode:
+    def __init__(self, node_id):
+        self.node_id = node_id
+
+    def __repr__(self):
+        return f"n{self.node_id}"
+
+
+def _nodes(*ids):
+    return [_FakeNode(i) for i in ids]
+
+
+def test_unknown_nodes_are_healthy():
+    health = ReplicaHealth()
+    assert health.suspicion(7) == 0.0
+    assert not health.suspect(7)
+
+
+def test_ewma_rises_on_failures_and_decays_on_successes():
+    health = ReplicaHealth(alpha=0.4)
+    health.record(0, failed=True)
+    health.record(0, failed=True)
+    risen = health.suspicion(0)
+    assert risen > 0.5  # two straight failures cross the default threshold
+    health.record(0, failed=False)
+    health.record(0, failed=False)
+    assert health.suspicion(0) < risen
+    assert health.recorded == 4
+
+
+def test_order_is_identity_when_nobody_is_suspect():
+    health = ReplicaHealth()
+    replicas = _nodes(2, 0, 1)
+    assert health.order(replicas) == replicas
+    assert health.reorders == 0
+
+
+def test_order_moves_suspects_last_keeping_healthy_order():
+    health = ReplicaHealth()
+    for _ in range(3):
+        health.record(0, failed=True)
+    replicas = _nodes(0, 1, 2)
+    ordered = health.order(replicas)
+    assert [n.node_id for n in ordered] == [1, 2, 0]
+    assert health.reorders == 1
+
+
+def test_multiple_suspects_sorted_least_suspect_first():
+    health = ReplicaHealth()
+    for _ in range(5):
+        health.record(0, failed=True)   # very suspect
+    for _ in range(2):
+        health.record(2, failed=True)   # mildly suspect
+    ordered = health.order(_nodes(0, 1, 2))
+    assert [n.node_id for n in ordered] == [1, 2, 0]
+
+
+def test_recovered_node_regains_its_place():
+    health = ReplicaHealth()
+    for _ in range(3):
+        health.record(0, failed=True)
+    assert [n.node_id for n in health.order(_nodes(0, 1, 2))] == [1, 2, 0]
+    for _ in range(6):
+        health.record(0, failed=False)  # the node came back
+    assert [n.node_id for n in health.order(_nodes(0, 1, 2))] == [0, 1, 2]

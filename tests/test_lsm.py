@@ -4,7 +4,7 @@ from repro._units import GB, KB, MS
 from repro.devices import Disk, DiskParams
 from repro.devices.disk_profile import profile_disk
 from repro.engines import LsmEngine
-from repro.errors import EBUSY
+from repro.errors import is_ebusy
 from repro.kernel import CfqScheduler, OS
 from repro.mittos import MittCfq
 from tests.conftest import run_process
@@ -82,7 +82,7 @@ def test_ebusy_propagates_out_of_engine(sim):
     for i in range(6):
         os_.read(9, i * GB, 2048 * KB, pid=9)
     result = run_process(sim, engine.get(50, deadline=5 * MS))
-    assert result is EBUSY
+    assert is_ebusy(result)
     assert engine.ebusy == 1
 
 

@@ -55,9 +55,9 @@ def test_mittcache_fault_injection_on_unstacked_guard(sim):
     predictor = MittCache(fault_injector=fault)
     os_ = OS(sim, disk, CfqScheduler(sim, disk),
              cache=PageCache(sim, 10), predictor=predictor)
-    from repro.errors import EBUSY
+    from repro.errors import is_ebusy
     # Even a generous deadline gets flipped to EBUSY at 100% FP rate.
-    assert os_.addrcheck(0, 0, 4 * KB, deadline=1000 * MS) is EBUSY
+    assert is_ebusy(os_.addrcheck(0, 0, 4 * KB, deadline=1000 * MS))
 
 
 def test_mmap_engine_addrcheck_default_follows_cache():
@@ -124,4 +124,4 @@ def test_eio_sentinel_used_for_exhausted_strategies(sim):
     env = build_disk_cluster(sim, 3)
     strategy = Strategy(env.cluster)
     with pytest.raises(NotImplementedError):
-        next(strategy._run(1, env.nodes))
+        next(strategy._run(1, env.nodes, strategy._op_context()))

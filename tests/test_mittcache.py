@@ -5,7 +5,7 @@ import pytest
 from repro._units import GB, KB, MS
 from repro.devices import Disk, DiskParams
 from repro.devices.disk_profile import profile_disk
-from repro.errors import EBUSY
+from repro.errors import is_ebusy
 from repro.kernel import CfqScheduler, OS, PageCache
 from repro.mittos import MittCache, MittCfq
 
@@ -39,7 +39,7 @@ def test_resident_addrcheck_true(sim):
 def test_miss_small_deadline_ebusy_and_swapin(sim):
     os_, _ = _stack(sim)
     verdict = os_.addrcheck(0, 0, 4 * KB, deadline=50.0)
-    assert verdict is EBUSY
+    assert is_ebusy(verdict)
     assert os_.cache.background_swapins == 1
 
 
@@ -50,13 +50,13 @@ def test_miss_propagates_to_io_predictor(sim):
     # Busy disk: propagated deadline rejected.
     for i in range(6):
         os_.read(0, (10 + i * 100) * GB, 2048 * KB, pid=9)
-    assert os_.addrcheck(0, 4 * GB, 4 * KB, deadline=10 * MS) is EBUSY
+    assert is_ebusy(os_.addrcheck(0, 4 * GB, 4 * KB, deadline=10 * MS))
 
 
 def test_unstacked_guard_uses_min_io_floor(sim):
     os_, predictor = _stack(sim, stacked=False)
     assert predictor.min_io_latency(4 * KB) == pytest.approx(1 * MS)
-    assert os_.addrcheck(0, 0, 4 * KB, deadline=0.1 * MS) is EBUSY
+    assert is_ebusy(os_.addrcheck(0, 0, 4 * KB, deadline=0.1 * MS))
     assert os_.addrcheck(0, 4 * GB, 4 * KB, deadline=10 * MS) is True
 
 
@@ -70,7 +70,7 @@ def test_read_path_hit_bypasses_predictor(sim):
 
     proc = sim.process(gen())
     sim.run()
-    assert proc.value is not EBUSY
+    assert not is_ebusy(proc.value)
     assert proc.value.cache_hit
 
 
@@ -85,4 +85,4 @@ def test_read_path_miss_consults_stacked_predictor(sim):
 
     proc = sim.process(gen())
     sim.run()
-    assert proc.value is EBUSY
+    assert is_ebusy(proc.value)

@@ -5,7 +5,7 @@ import pytest
 from repro._units import KB, MS
 from repro.devices import BlockRequest, IoOp, Ssd, SsdGeometry
 from repro.devices.ssd_profile import SsdLatencyModel
-from repro.errors import EBUSY
+from repro.errors import is_ebusy
 from repro.kernel import NoopScheduler, OS
 from repro.mittos import MittSsd
 
@@ -102,7 +102,7 @@ def test_end_to_end_ebusy_failover_path(sim):
 
     proc = sim.process(gen())
     sim.run()
-    assert proc.value is EBUSY
+    assert is_ebusy(proc.value)
 
 
 def test_prediction_tracks_actual_latency(sim):

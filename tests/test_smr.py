@@ -6,7 +6,7 @@ from repro._units import GB, KB, MB, MS
 from repro.devices import BlockRequest, Disk, DiskParams, IoOp
 from repro.devices.disk_profile import profile_disk
 from repro.devices.smr import SmrDisk, SmrParams
-from repro.errors import EBUSY
+from repro.errors import is_ebusy
 from repro.kernel import NoopScheduler, OS
 from repro.mittos.mittsmr import MittSmr
 
@@ -84,7 +84,7 @@ def test_mittsmr_rejects_reads_during_cleaning(sim):
 
     proc = sim.process(gen())
     sim.run_until(proc)
-    assert proc.value is EBUSY
+    assert is_ebusy(proc.value)
 
 
 def test_cleaning_blind_predictor_misses_the_tail(sim):
@@ -99,7 +99,7 @@ def test_cleaning_blind_predictor_misses_the_tail(sim):
     proc = sim.process(gen())
     sim.run_until(proc)
     # Accepted (false negative): the read then blows its deadline.
-    assert proc.value is not EBUSY
+    assert not is_ebusy(proc.value)
     assert proc.value.latency > 20 * MS
 
 
@@ -112,7 +112,7 @@ def test_mittsmr_accepts_when_idle(sim):
 
     proc = sim.process(gen())
     sim.run_until(proc)
-    assert proc.value is not EBUSY
+    assert not is_ebusy(proc.value)
 
 
 def test_random_writes_are_fast_until_cleaning(sim):

@@ -1,8 +1,11 @@
 """Tests of the client-side tail-tolerance strategies."""
 
+import pytest
+
 from repro._units import MS, SEC
-from repro.cluster.strategies import STRATEGIES
-from repro.errors import EBUSY, EIO
+from repro.cluster import Cluster, Network
+from repro.cluster.strategies import STRATEGIES, MittosStrategy
+from repro.errors import EIO, EBusy, is_ebusy
 from repro.experiments.common import build_disk_cluster, make_strategy
 
 
@@ -84,7 +87,7 @@ def test_mittos_instant_failover(sim):
     strategy = make_strategy("mittos", env.cluster, deadline_us=15 * MS)
     start = sim.now
     ev = _get(sim, strategy, 1)
-    assert ev.value is not EBUSY and ev.value is not EIO
+    assert not is_ebusy(ev.value) and ev.value is not EIO
     assert strategy.failovers >= 1
     # No waiting: roughly one extra hop + a clean read.
     assert sim.now - start < 25 * MS
@@ -96,7 +99,7 @@ def test_mittos_third_try_disables_deadline(sim):
         injector.busy_window(3 * SEC, concurrency=5)
     strategy = make_strategy("mittos", env.cluster, deadline_us=10 * MS)
     ev = _get(sim, strategy, 1)
-    assert ev.value is not EBUSY and ev.value is not EIO
+    assert not is_ebusy(ev.value) and ev.value is not EIO
     assert strategy.all_busy == 1
 
 
@@ -107,7 +110,7 @@ def test_mittos_wait_hint_picks_least_busy(sim):
     strategy = make_strategy("mittos", env.cluster, deadline_us=10 * MS,
                              use_wait_hint=True)
     ev = _get(sim, strategy, 1)
-    assert ev.value is not EBUSY and ev.value is not EIO
+    assert not is_ebusy(ev.value) and ev.value is not EIO
     assert strategy.all_busy == 1
 
 
@@ -117,7 +120,7 @@ def test_tied_cancels_loser(sim):
     strategy = make_strategy("tied", env.cluster)
     strategy.tie_delay_us = 5 * MS
     ev = _get(sim, strategy, 1)
-    assert ev.value is not EIO and ev.value is not EBUSY
+    assert ev.value is not EIO and not is_ebusy(ev.value)
     assert strategy.duplicates == 1
 
 
@@ -152,3 +155,102 @@ def test_c3_uses_queue_feedback(sim):
     proc = sim.process(client())
     sim.run_until(proc, limit=40 * SEC)
     assert strategy._queue  # queue estimates were collected
+
+
+def test_replication_below_one_is_rejected(sim):
+    with pytest.raises(ValueError):
+        Cluster(sim, [], Network(sim), replication=0)
+
+
+def test_race_timer_is_cancelled_when_the_event_wins(sim):
+    """Regression: the loser's timeout used to stay live in the heap, so a
+    quiet get with base's 30 s timeout left a 30 s timer behind."""
+    env = build_disk_cluster(sim, 6)
+    strategy = make_strategy("base", env.cluster)  # default 30 s timeout
+    ev = _get(sim, strategy, 1)
+    assert ev.value is not EIO
+    pending = [h.time for h in sim._heap if not h.cancelled]
+    assert all(t < 1 * SEC for t in pending), pending
+
+
+def test_ebusy_response_carries_predicted_wait(sim):
+    """Satellite of §8.1: the wait hint rides the EBUSY response itself."""
+    env = build_disk_cluster(sim, 3)
+    primary = _noisy_primary(env, 1)
+    ev = primary.get(1, deadline=5 * MS)
+    sim.run_until(ev, limit=1 * SEC)
+    assert is_ebusy(ev.value)
+    assert ev.value.predicted_wait is not None
+    assert ev.value.predicted_wait > 5 * MS  # the reject reason, per request
+
+
+# -- wait-hint interleaving (the old shared-hint race) -----------------------
+
+class _ScriptedNode:
+    """A replica answering deadline gets from a fixed per-arrival script."""
+
+    def __init__(self, sim, node_id, script):
+        self.sim = sim
+        self.node_id = node_id
+        self.script = list(script)  # (delay_us, result) in arrival order
+        self.final_gets = 0        # deadline-None gets routed here
+        self.up = True
+        self.epoch = 0
+
+    def get(self, key, deadline=None):
+        if deadline is None:
+            self.final_gets += 1
+            return self.sim.timeout(200.0, ("data", self.node_id))
+        delay, result = self.script.pop(0)
+        return self.sim.timeout(delay, result)
+
+
+class _ScriptedCluster:
+    """Minimal cluster: every key lives on all nodes, in order."""
+
+    def __init__(self, sim, nodes):
+        self.sim = sim
+        self.nodes = nodes
+        self.network = Network(sim, hop_us=50.0, jitter_us=0.0)
+        self.health = None
+        self.default_rpc_timeout_us = None
+        self.default_op_budget_us = None
+        self.default_max_attempts = None
+
+    def replicas_for(self, key):
+        return list(self.nodes)
+
+
+def test_wait_hints_are_per_request_under_interleaving(sim):
+    """Two clients interleave their EBUSY failover rounds; each must route
+    its last try by its *own* hints.  With the old shared
+    ``predictor.last_rejected_wait`` hint, client A read whatever value
+    client B's rejection stored last."""
+    busy = 100 * MS
+    idle = 5 * MS
+    # Arrival order per node is client A then client B (A starts first and
+    # both follow the same fixed-latency sequence).
+    nodes = [
+        _ScriptedNode(sim, 0, [(200.0, EBusy(busy)), (200.0, EBusy(idle))]),
+        _ScriptedNode(sim, 1, [(200.0, EBusy(idle)), (200.0, EBusy(busy))]),
+        _ScriptedNode(sim, 2, [(200.0, EBusy(busy)), (200.0, EBusy(busy))]),
+    ]
+    cluster = _ScriptedCluster(sim, nodes)
+    strategy = MittosStrategy(cluster, deadline_us=10 * MS,
+                              use_wait_hint=True)
+
+    def client(offset_us):
+        yield offset_us
+        result = yield strategy.get(1)
+        return result
+
+    proc_a = sim.process(client(0.0))
+    proc_b = sim.process(client(100.0))
+    sim.run_until(sim.all_of([proc_a, proc_b]), limit=1 * SEC)
+    # A's hints say node 1 is least busy; B's say node 0.
+    assert proc_a.value == ("data", 1)
+    assert proc_b.value == ("data", 0)
+    assert nodes[0].final_gets == 1
+    assert nodes[1].final_gets == 1
+    assert nodes[2].final_gets == 0
+    assert strategy.all_busy == 2

@@ -5,7 +5,7 @@ import pytest
 from repro._units import GB, KB, MS
 from repro.devices import Disk, DiskParams
 from repro.devices.disk_profile import profile_disk
-from repro.errors import EBUSY
+from repro.errors import is_ebusy
 from repro.kernel import CfqScheduler, OS, PageCache
 from repro.mittos import MittCfq
 from tests.conftest import run_process
@@ -74,7 +74,7 @@ def test_deadline_read_gets_ebusy_when_busy(sim):
         return result, sim.now
 
     result, at = run_process(sim, gen())
-    assert result is EBUSY
+    assert is_ebusy(result)
     assert at < 1 * MS  # rejection is instant (microseconds)
     assert os_.ebusy_returned == 1
 
@@ -88,7 +88,7 @@ def test_deadline_read_accepted_when_idle(sim):
         return result
 
     result = run_process(sim, gen())
-    assert result is not EBUSY
+    assert not is_ebusy(result)
     assert result.latency < 50 * MS
 
 
@@ -101,7 +101,7 @@ def test_addrcheck_resident_ok(sim):
 def test_addrcheck_missing_with_tiny_deadline_is_ebusy(sim):
     os_ = _os(sim, cache_pages=100, mitt=True)
     verdict = os_.addrcheck(0, 0, 4 * KB, deadline=10.0)
-    assert verdict is EBUSY
+    assert is_ebusy(verdict)
     # Fairness caveat: the OS swaps the page in anyway (§4.4).
     assert os_.cache.resident(0, 0, 4 * KB)
 
@@ -170,5 +170,5 @@ def test_late_cancellation_returns_ebusy(sim):
         return result
 
     result = run_process(sim, gen())
-    assert result is EBUSY
+    assert is_ebusy(result)
     assert os_.predictor.late_cancellations >= 1
