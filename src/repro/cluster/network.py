@@ -5,7 +5,31 @@ paper's testbed and EC2 (or 10 µs with Infiniband).  The network model is a
 per-message latency draw; contention-free, since the paper attributes its
 residual network tail to uncontrolled Emulab noise, which we expose as an
 optional jitter term.
+
+Messages are observable: every :meth:`send` emits ``rpc.send`` (or
+``rpc.drop`` when the fault plane eats the datagram) on the simulator's bus,
+and — while a recorder is active — delivery is recorded as ``rpc.recv``.
+The legacy ``dropped`` counter is a derived property over the bus-fed
+:class:`NetStats`.
 """
+
+from repro.obs.events import RPC_DROP, RPC_RECV, RPC_SEND
+
+
+class NetStats:
+    """Bus-fed message counters for one network."""
+
+    __slots__ = ("sent", "dropped")
+
+    def __init__(self):
+        self.sent = 0
+        self.dropped = 0
+
+    def on_send(self, src, dst):
+        self.sent += 1
+
+    def on_drop(self, src, dst):
+        self.dropped += 1
 
 
 class Network:
@@ -24,8 +48,15 @@ class Network:
         self.tail_extra_us = tail_extra_us
         #: Installed by ``FaultPlane.arm``; None = fail-free network.
         self.fault_plane = None
-        self.dropped = 0
+        self.bus = sim.bus
+        self.stats = NetStats()
+        self.bus.subscribe(RPC_SEND, self.stats.on_send, source=self)
+        self.bus.subscribe(RPC_DROP, self.stats.on_drop, source=self)
         self._rng = sim.rng("network")
+
+    @property
+    def dropped(self):
+        return self.stats.dropped
 
     def hop_latency(self):
         latency = max(1.0, self._rng.gauss(self.hop_us, self.jitter_us))
@@ -45,8 +76,19 @@ class Network:
         only the sender's own timeout can save it, exactly like a dropped
         datagram.  Fault-free this is byte-identical to :meth:`hop`.
         """
+        bus = self.bus
         if self.fault_plane is not None and \
                 self.fault_plane.drop_message(src, dst):
-            self.dropped += 1
+            bus.emit(RPC_DROP, self, src, dst)
+            if bus.recorder.active:
+                bus.record(RPC_DROP, {"src": src, "dst": dst})
             return self.sim.event()  # lost: never fires
-        return self.sim.timeout(self.hop_latency())
+        bus.emit(RPC_SEND, self, src, dst)
+        latency = self.hop_latency()
+        ev = self.sim.timeout(latency)
+        if bus.recorder.active:
+            bus.record(RPC_SEND, {"src": src, "dst": dst,
+                                  "latency": latency})
+            ev.add_callback(lambda _ev: bus.record(
+                RPC_RECV, {"src": src, "dst": dst, "latency": latency}))
+        return ev

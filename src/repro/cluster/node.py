@@ -8,6 +8,7 @@ model here — no exception cost).
 """
 
 from repro.errors import EIO, is_ebusy
+from repro.obs.events import FAULT, IO_DISPATCH
 from repro.sim.resources import Semaphore
 
 
@@ -51,10 +52,18 @@ class StorageNode:
         self.up = False
         self.epoch += 1
         self.crashes += 1
+        bus = self.sim.bus
+        if bus.recorder.active:
+            bus.record(FAULT, {"kind": "crash", "node": self.node_id,
+                               "epoch": self.epoch})
 
     def restart(self):
         """Bring a crashed node back (same data, new epoch already set)."""
         self.up = True
+        bus = self.sim.bus
+        if bus.recorder.active:
+            bus.record(FAULT, {"kind": "restart", "node": self.node_id,
+                               "epoch": self.epoch})
 
     def get(self, key, deadline=None, io_observer=None):
         """Server-side get as a process event: value is EBUSY or a record."""
@@ -105,7 +114,8 @@ class StorageNode:
             if ev is not None:
                 ev.try_succeed(self.node_id)
 
-        self.os.scheduler.add_dispatch_listener(on_dispatch)
+        self.sim.bus.subscribe(IO_DISPATCH, on_dispatch,
+                               source=self.os.scheduler)
 
     def put(self, key):
         """Server-side put (buffered write path, §7.8.6)."""

@@ -10,6 +10,11 @@ fail-free behaviour, byte-identical traces); arming a
 """
 
 from repro.errors import EIO, is_ebusy
+from repro.obs.events import (DECISION, SPAN_OP, STAGE_BACKOFF,
+                              STAGE_FAILOVER_HOP, STAGE_NETWORK_HOP,
+                              STAGE_PARALLEL_WAIT, STAGE_SERVER,
+                              STAGE_TIMEOUT_WAIT)
+from repro.obs.spans import close_op_spans
 
 #: Attempt cap used when an RPC timeout is set but no explicit cap is:
 #: bounds the last-resort retry loop even with an infinite budget.
@@ -17,7 +22,7 @@ DEFAULT_MAX_ATTEMPTS = 12
 
 
 class OpContext:
-    """Per-operation resilience budget.
+    """Per-operation resilience budget (and, when tracing, its span set).
 
     One instance per ``get()`` — strategies are shared across concurrent
     client processes, so per-operation state must travel with the
@@ -26,7 +31,7 @@ class OpContext:
     """
 
     __slots__ = ("start", "budget_us", "rpc_timeout_us", "max_attempts",
-                 "attempts", "timeouts")
+                 "attempts", "timeouts", "spans", "_mark")
 
     def __init__(self, start, budget_us=None, rpc_timeout_us=None,
                  max_attempts=None):
@@ -36,6 +41,25 @@ class OpContext:
         self.max_attempts = max_attempts
         self.attempts = 0
         self.timeouts = 0
+        #: Stage dict for span attribution; None (the default) disables
+        #: charging entirely, keeping the fail-free hot path allocation-free.
+        self.spans = None
+        self._mark = start
+
+    def charge(self, stage, now):
+        """Attribute the interval since the last mark to ``stage``.
+
+        Charged intervals are contiguous and non-overlapping by
+        construction (the mark always advances to ``now``), so the charged
+        stages can never sum to more than the op's wall time — whatever no
+        stage claims is closed into ``client-other`` at completion.
+        """
+        if self.spans is None:
+            return
+        dt = now - self._mark
+        if dt > 0.0:
+            self.spans[stage] = self.spans.get(stage, 0.0) + dt
+        self._mark = now
 
     def remaining_us(self, now):
         """Budget left (None = unbounded)."""
@@ -97,7 +121,39 @@ class Strategy:
         health = self.health
         if health is not None:
             replicas = health.order(replicas)
-        return self.sim.process(self._run(key, replicas, self._op_context()))
+        ctx = self._op_context()
+        proc = self.sim.process(self._run(key, replicas, ctx))
+        bus = self.sim.bus
+        if bus.recorder.active:
+            ctx.spans = {}
+            proc.add_callback(lambda ev: self._record_op_span(ev, key, ctx))
+        return proc
+
+    def _record_op_span(self, proc_event, key, ctx):
+        """Emit the op-level ``span.op`` event at get() completion."""
+        now = self.sim.now
+        stages = dict(close_op_spans(ctx, now))
+        ctx.spans = None  # straggler attempts must not mutate the record
+        if not proc_event.ok:
+            outcome = "error"
+        elif proc_event.value is EIO:
+            outcome = "eio"
+        elif is_ebusy(proc_event.value):
+            outcome = "ebusy"
+        else:
+            outcome = "ok"
+        self.sim.bus.record(SPAN_OP, {
+            "strategy": self.name, "key": key, "outcome": outcome,
+            "attempts": ctx.attempts, "timeouts": ctx.timeouts,
+            "total": now - ctx.start, "stages": stages})
+
+    def _note_decision(self, kind, **fields):
+        """Record one client-policy decision (trace plane only)."""
+        bus = self.sim.bus
+        if bus.recorder.active:
+            fields["strategy"] = self.name
+            fields["kind"] = kind
+            bus.record(DECISION, fields)
 
     def _run(self, key, replicas, ctx):
         raise NotImplementedError
@@ -148,23 +204,40 @@ class Strategy:
         return base / 2 + self._backoff_rng.random() * (base / 2)
 
     # -- helpers ---------------------------------------------------------
-    def _attempt(self, node, key, deadline=None):
-        """One request/response round-trip to a node, as a process event."""
-        return self.sim.process(self._attempt_gen(node, key, deadline))
+    def _attempt(self, node, key, deadline=None, ctx=None):
+        """One request/response round-trip to a node, as a process event.
 
-    def _attempt_gen(self, node, key, deadline):
+        Pass ``ctx`` from *sequential* call sites only: the attempt then
+        charges its network/server intervals to the op's span set.
+        Parallel fan-outs (hedged, clone, tied) must omit it — their
+        concurrent waiting is charged as ``parallel-wait`` by the caller.
+        """
+        return self.sim.process(self._attempt_gen(node, key, deadline, ctx))
+
+    def _attempt_gen(self, node, key, deadline, ctx=None):
         net = self.network
+        track = ctx is not None and ctx.spans is not None
+        # The first attempt's hops are the op's base network cost; every
+        # later attempt's hops are failover overhead.
+        hop_stage = (STAGE_NETWORK_HOP if ctx is None or ctx.attempts <= 1
+                     else STAGE_FAILOVER_HOP)
         yield net.send(net.CLIENT, node.node_id)
+        if track:
+            ctx.charge(hop_stage, self.sim.now)
         if not node.up:
             # Crashed server: the request is swallowed; only the caller's
             # timeout can end this attempt.
             yield self.sim.event()
         epoch = node.epoch
         result = yield node.get(key, deadline)
+        if track:
+            ctx.charge(STAGE_SERVER, self.sim.now)
         if not node.up or node.epoch != epoch:
             # The node crashed while serving: the reply is lost.
             yield self.sim.event()
         yield net.send(node.node_id, net.CLIENT)
+        if track:
+            ctx.charge(hop_stage, self.sim.now)
         return result
 
     def _race(self, event, timeout_us):
@@ -197,7 +270,7 @@ class Strategy:
         if limit is not None and limit <= 0:
             return False, None
         ctx.attempts += 1
-        attempt = self._attempt(node, key, deadline)
+        attempt = self._attempt(node, key, deadline, ctx=ctx)
         if limit is None:
             value = yield attempt
             self._note_result(node, value)
@@ -207,6 +280,8 @@ class Strategy:
             self._note_result(node, value)
             return True, value
         ctx.timeouts += 1
+        ctx.charge(STAGE_TIMEOUT_WAIT, self.sim.now)
+        self._note_decision("rpc-timeout", node=node.node_id, limit_us=limit)
         self._note_timeout(node)
         return False, None
 
@@ -220,7 +295,8 @@ class Strategy:
         """
         if ctx.rpc_timeout_us is None:
             ctx.attempts += 1
-            result = yield self._attempt(candidates[0], key, deadline)
+            result = yield self._attempt(candidates[0], key, deadline,
+                                         ctx=ctx)
             self._note_result(candidates[0], result)
             return result
         round_no = 0
@@ -241,7 +317,9 @@ class Strategy:
             delay = self._backoff_us(round_no)
             if remaining is not None:
                 delay = min(delay, remaining)
+            self._note_decision("backoff", round_no=round_no, delay_us=delay)
             yield delay
+            ctx.charge(STAGE_BACKOFF, self.sim.now)
             round_no += 1
         return EIO
 
@@ -258,6 +336,7 @@ class Strategy:
             limit = ctx.attempt_limit_us(self.sim.now)
             if limit is None:
                 idx, value = yield self.sim.any_of(pending)
+                ctx.charge(STAGE_PARALLEL_WAIT, self.sim.now)
             else:
                 if limit <= 0:
                     return EIO
@@ -265,8 +344,10 @@ class Strategy:
                     self.sim.any_of(pending), limit)
                 if not finished:
                     self.rpc_timeouts += 1
+                    ctx.charge(STAGE_TIMEOUT_WAIT, self.sim.now)
                     return EIO
                 idx, value = raced
+                ctx.charge(STAGE_PARALLEL_WAIT, self.sim.now)
             node = sources[idx]
             if node is not None:
                 self._note_result(node, value)
@@ -301,10 +382,13 @@ class BaseStrategy(Strategy):
         limit = ctx.attempt_limit_us(self.sim.now)
         if limit is not None:
             timeout = min(timeout, limit)
-        attempt = self._attempt(node, key)
+        attempt = self._attempt(node, key, ctx=ctx)
         finished, value = yield from self._race(attempt, timeout)
         if not finished:
             self.timeouts += 1
+            ctx.charge(STAGE_TIMEOUT_WAIT, self.sim.now)
+            self._note_decision("coarse-timeout", node=node.node_id,
+                                timeout_us=timeout)
             self._note_timeout(node)
             return EIO
         self._note_result(node, value)
@@ -336,16 +420,20 @@ class AppToStrategy(Strategy):
                     return EIO
                 timeout = min(timeout, limit)
             ctx.attempts += 1
-            attempt = self._attempt(node, key)
+            attempt = self._attempt(node, key, ctx=ctx)
             finished, value = yield from self._race(attempt, timeout)
             if finished:
                 self._note_result(node, value)
                 if value is EIO:
                     self.eio_failovers += 1
                     self.retries += 1
+                    self._note_decision("eio-failover", node=node.node_id)
                     continue
                 return value
             self.retries += 1  # timed out; abandon and go to next replica
+            ctx.charge(STAGE_TIMEOUT_WAIT, self.sim.now)
+            self._note_decision("timeout-failover", node=node.node_id,
+                                timeout_us=timeout)
             self._note_timeout(node)
         order = [replicas[-1]] + list(replicas[:-1])
         result = yield from self._last_resort(key, order, ctx)

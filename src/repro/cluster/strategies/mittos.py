@@ -65,6 +65,8 @@ class MittosStrategy(Strategy):
             if finished and is_ebusy(result):
                 got_ebusy = True
                 waits.append(self._wait_hint(result))
+                self._note_decision("ebusy-failover", node=node.node_id,
+                                    predicted_wait=waits[-1])
             else:
                 # Lost RPC / crashed node / latent read error: treat like
                 # an EBUSY with no hint and fail over.
@@ -91,6 +93,7 @@ class MittosStrategy(Strategy):
                 waits.append(float("inf"))
             self.all_busy += 1
             best = min(range(len(replicas)), key=lambda i: waits[i])
+            self._note_decision("wait-hint-route", key=key, best=best)
             order = [replicas[best]] + [node for i, node in
                                         enumerate(replicas) if i != best]
             result = yield from self._last_resort(key, order, ctx)
@@ -99,6 +102,7 @@ class MittosStrategy(Strategy):
         # Default: the last try disables the deadline — never an IO error
         # while some replica can still answer (bounded when faults are on).
         self.all_busy += 1
+        self._note_decision("all-busy", key=key)
         order = [replicas[-1]] + list(replicas[:-1])
         result = yield from self._last_resort(key, order, ctx)
         return result

@@ -18,6 +18,7 @@ appendix models explicitly (``sstfTime``).
 
 from repro._units import GB, KB, MS, US
 from repro.devices.request import IoOp
+from repro.obs.events import IO_SERVICE_START, request_fields
 
 
 class DiskParams:
@@ -53,6 +54,7 @@ class Disk:
 
     def __init__(self, sim, params=None, name="disk"):
         self.sim = sim
+        self.bus = sim.bus
         self.params = params or DiskParams()
         self.name = name
         self._rng = sim.rng(f"disk/{name}")
@@ -155,6 +157,9 @@ class Disk:
                 continue
             self._current = req
             req.service_start = self.sim.now
+            if self.bus.recorder.active:
+                self.bus.record(IO_SERVICE_START,
+                                dict(request_fields(req), device=self.name))
             service = self._true_service_time(req)
             self.sim.schedule(service, self._complete, req)
             return

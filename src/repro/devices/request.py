@@ -13,6 +13,17 @@ from enum import Enum, IntEnum
 _req_ids = itertools.count()
 
 
+def reset_req_ids():
+    """Restart request-id numbering (called by ``Simulator.__init__``).
+
+    ``req_id`` is pure identity — it never influences scheduling — but it
+    appears in trace events, so same-seed runs in one process must number
+    their requests identically for trace digests to match.
+    """
+    global _req_ids
+    _req_ids = itertools.count()
+
+
 class IoOp(Enum):
     READ = "read"
     WRITE = "write"

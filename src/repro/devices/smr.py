@@ -22,6 +22,7 @@ cleaning-aware horizon (:class:`repro.mittos.mittsmr.MittSmr`).
 from repro._units import GB, MB, MS
 from repro.devices.disk import Disk, DiskParams
 from repro.devices.request import IoOp
+from repro.obs.events import DEVICE_CLEAN
 
 
 class SmrParams(DiskParams):
@@ -89,6 +90,11 @@ class SmrDisk(Disk):
         """Clean one band as an exclusive spindle busy period."""
         p = self.params
         busy_until = self.sim.now + p.band_clean_time_us
+        if self.bus.recorder.active:
+            self.bus.record(DEVICE_CLEAN, {
+                "device": self.name, "kind": "start",
+                "busy_until": busy_until,
+                "cache_fill": self.cache_fill_fraction})
         for fn in self._clean_observers:
             fn("start", busy_until)
         # Cleaning monopolizes the actuator: model it by pushing the
@@ -104,6 +110,11 @@ class SmrDisk(Disk):
             self._clean_next_band()
             return
         self._cleaning = False
+        if self.bus.recorder.active:
+            self.bus.record(DEVICE_CLEAN, {
+                "device": self.name, "kind": "stop",
+                "bands_cleaned": self.bands_cleaned,
+                "cache_fill": self.cache_fill_fraction})
         for fn in self._clean_observers:
             fn("stop", self.sim.now)
         self._start_next()

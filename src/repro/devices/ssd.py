@@ -18,6 +18,7 @@ OpenChannel devices the host owns the FTL.
 
 from repro._units import FLASH_PAGE_SIZE, MS
 from repro.devices.request import IoOp
+from repro.obs.events import IO_SERVICE_START, request_fields
 
 
 def program_pattern(pages_per_block=512, lower_us=1 * MS, upper_us=2 * MS):
@@ -101,6 +102,7 @@ class Ssd:
 
     def __init__(self, sim, geometry=None, name="ssd"):
         self.sim = sim
+        self.bus = sim.bus
         self.geometry = geometry or SsdGeometry()
         self.name = name
         self._rng = sim.rng(f"ssd/{name}")
@@ -185,6 +187,13 @@ class Ssd:
     def submit(self, req):
         """Run ``req`` as page sub-IOs; finish when all sub-IOs complete."""
         req.dispatch_time = self.sim.now
+        # Chip queueing is modeled analytically (next_free horizons), so the
+        # device starts "servicing" the request the moment it arrives: the
+        # device-queue span is zero and chip waits count as device-service.
+        req.service_start = self.sim.now
+        if self.bus.recorder.active:
+            self.bus.record(IO_SERVICE_START,
+                            dict(request_fields(req), device=self.name))
         lpns = self.pages_of(req.offset, req.size)
         remaining = len(lpns)
         done = {"n": remaining}

@@ -1,4 +1,4 @@
-"""CLI: ``python -m repro.experiments <id> [--full] [--seed N]``."""
+"""CLI: ``python -m repro.experiments <id> [--full] [--seed N] [--trace]``."""
 
 import argparse
 import sys
@@ -19,6 +19,13 @@ def main(argv=None):
                         help="also render ASCII CDF plots where available")
     parser.add_argument("--json", metavar="PATH",
                         help="append results as JSON lines to PATH")
+    parser.add_argument("--trace", nargs="?", const="", metavar="PATH",
+                        help="record the observability-plane trace: print "
+                             "the per-stage latency breakdown and export "
+                             "JSONL to PATH (default <id>-trace.jsonl)")
+    parser.add_argument("--paranoid", action="store_true",
+                        help="run simulators with the replay sanitizer "
+                             "armed (trace events feed its hash)")
     parser.add_argument("--seed", type=int, default=7)
     args = parser.parse_args(argv)
 
@@ -34,8 +41,15 @@ def main(argv=None):
         # repro: allow[DET002] host time only reports CLI runtime; it
         # never enters the simulation.
         start = time.time()
-        result = runner(quick=not args.full, seed=args.seed)
+        trace_report = None
+        if args.trace is not None or args.paranoid:
+            result, trace_report = _run_traced(runner, exp_id, args)
+        else:
+            result = runner(quick=not args.full, seed=args.seed)
         print(result.render())
+        if trace_report:
+            print()
+            print(trace_report)
         if args.plot and result.plots:
             print()
             print(result.render_plots())
@@ -46,6 +60,32 @@ def main(argv=None):
         elapsed = time.time() - start  # repro: allow[DET002] CLI timing
         print(f"\n[{exp_id} took {elapsed:.1f}s]\n")
     return 0
+
+
+def _run_traced(runner, exp_id, args):
+    """Run one experiment with ambient tracing installed.
+
+    Returns ``(result, trace_report)`` where the report is the per-stage
+    latency attribution table plus the JSONL export location (None when
+    only ``--paranoid`` was requested).
+    """
+    from repro.metrics.breakdown import LatencyBreakdown
+    from repro.obs.bus import TraceRecorder, install_tracing, reset_tracing
+
+    recorder = TraceRecorder() if args.trace is not None else None
+    install_tracing(recorder, paranoid=args.paranoid)
+    try:
+        result = runner(quick=not args.full, seed=args.seed)
+    finally:
+        reset_tracing()
+    if recorder is None:
+        return result, None
+    path = args.trace or f"{exp_id}-trace.jsonl"
+    n = recorder.write_jsonl(path)
+    report = (LatencyBreakdown.from_events(recorder.events).render()
+              + f"\n[trace: {n} events -> {path}  "
+                f"digest {recorder.trace_digest()}]")
+    return result, report
 
 
 if __name__ == "__main__":

@@ -18,6 +18,7 @@ every strategy's ``get()`` bounded under total failure.
 from repro.cluster.health import ReplicaHealth
 from repro.faults.spec import FaultSpec, _window_covers
 from repro.mittos.faults import FaultInjector
+from repro.obs.events import FAULT
 
 
 class FaultPlane:
@@ -95,13 +96,22 @@ class FaultPlane:
         return self
 
     # -- scheduled transitions --------------------------------------------
-    @staticmethod
-    def _set_slow(node, cpu_factor, device_factor):
+    def _record(self, kind, **fields):
+        """Trace one fault-plane transition (recorder active only)."""
+        bus = self.sim.bus
+        if bus.recorder.active:
+            fields["kind"] = kind
+            bus.record(FAULT, fields)
+
+    def _set_slow(self, node, cpu_factor, device_factor):
         node.cpu_slow_factor = cpu_factor
         node.os.device.latency_scale = device_factor
+        self._record("fail-slow", node=node.node_id, cpu_factor=cpu_factor,
+                     device_factor=device_factor)
 
     def _storm_on(self, device, storm):
         device.latency_scale = storm.factor
+        self._record("storm-on", device=device.name, factor=storm.factor)
 
         def extra():
             if storm.spike_prob and \
@@ -113,10 +123,10 @@ class FaultPlane:
 
         device.fault_latency_extra = extra
 
-    @staticmethod
-    def _storm_off(device):
+    def _storm_off(self, device):
         device.latency_scale = 1.0
         device.fault_latency_extra = None
+        self._record("storm-off", device=device.name)
 
     # -- probabilistic members (named-stream draws only) -------------------
     def drop_message(self, src, dst):
@@ -151,6 +161,7 @@ class FaultPlane:
                 continue
             if rule.rate >= 1.0 or self._io_rng.random() < rule.rate:
                 self.injected_read_errors += 1
+                self._record("read-error", node=node_id)
                 return True
         return False
 

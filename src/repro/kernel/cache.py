@@ -11,6 +11,7 @@ residency still get their cache share — :meth:`note_ebusy_swapin` models it.
 from collections import OrderedDict
 
 from repro._units import PAGE_SIZE
+from repro.obs.events import CACHE_HIT, CACHE_MISS, CACHE_SWAPIN
 
 
 class PageCache:
@@ -20,6 +21,7 @@ class PageCache:
         if capacity_pages <= 0:
             raise ValueError("cache needs a positive capacity")
         self.sim = sim
+        self.bus = sim.bus
         self.capacity_pages = capacity_pages
         self.page_size = page_size
         self._pages = OrderedDict()   # (file_id, pageno) -> True
@@ -51,8 +53,14 @@ class PageCache:
             for k in keys:
                 self._pages.move_to_end(k)
             self.hits += 1
+            if self.bus.recorder.active:
+                self.bus.record(CACHE_HIT, {"file": file_id, "offset": offset,
+                                            "size": size})
             return True
         self.misses += 1
+        if self.bus.recorder.active:
+            self.bus.record(CACHE_MISS, {"file": file_id, "offset": offset,
+                                         "size": size})
         return False
 
     def insert(self, file_id, offset, size):
@@ -101,6 +109,9 @@ class PageCache:
         """
         self.insert(file_id, offset, size)
         self.background_swapins += 1
+        if self.bus.recorder.active:
+            self.bus.record(CACHE_SWAPIN, {"file": file_id, "offset": offset,
+                                           "size": size})
 
     @property
     def used_pages(self):

@@ -3,9 +3,44 @@
 A scheduler owns the OS-level queues (noop's FIFO, CFQ's service trees) and
 dispatches into the device whenever the device has room, mirroring the block
 layer feeding NCQ slots.  Completion and cancellation flow back through
-request callbacks.  Listeners (the MittOS predictors) can observe dispatch
-and completion to maintain their wait-time bookkeeping.
+request callbacks.
+
+Observation is bus-first: every lifecycle edge (submit, dispatch, complete,
+cancel) is emitted on the simulator's :class:`~repro.obs.bus.TraceBus`,
+source-scoped to this scheduler.  The MittOS predictors subscribe to those
+topics (the ``add_*_listener`` methods remain as thin subscription shims),
+and the scheduler's own counters are a bus consumer too: ``submitted`` /
+``cancelled`` are derived properties over :class:`SchedulerStats`, which
+counts the same events every other consumer sees.
 """
+
+from repro.obs.events import (IO_CANCEL, IO_COMPLETE, IO_DISPATCH, IO_SUBMIT,
+                              request_fields)
+
+
+class SchedulerStats:
+    """Bus-fed lifecycle counters for one scheduler."""
+
+    __slots__ = ("submitted", "dispatched", "completed", "cancelled")
+
+    def __init__(self):
+        self.submitted = 0
+        self.dispatched = 0
+        self.completed = 0
+        self.cancelled = 0
+
+    # Subscribed to the scheduler's own (topic, source) streams.
+    def on_submit(self, req):
+        self.submitted += 1
+
+    def on_dispatch(self, req):
+        self.dispatched += 1
+
+    def on_complete(self, req):
+        self.completed += 1
+
+    def on_cancel(self, req):
+        self.cancelled += 1
 
 
 class IOScheduler:
@@ -14,34 +49,47 @@ class IOScheduler:
     def __init__(self, sim, device):
         self.sim = sim
         self.device = device
+        self.bus = sim.bus
         device.add_drain_callback(self._dispatch)
-        self._submit_listeners = []
-        self._dispatch_listeners = []
-        self._complete_listeners = []
-        self.submitted = 0
-        self.cancelled = 0
+        #: Counters are a bus consumer like any other: the stats object
+        #: subscribes to this scheduler's own lifecycle topics.
+        self.stats = SchedulerStats()
+        self.bus.subscribe(IO_SUBMIT, self.stats.on_submit, source=self)
+        self.bus.subscribe(IO_DISPATCH, self.stats.on_dispatch, source=self)
+        self.bus.subscribe(IO_COMPLETE, self.stats.on_complete, source=self)
+        self.bus.subscribe(IO_CANCEL, self.stats.on_cancel, source=self)
 
-    # -- observation hooks (used by MittOS) -----------------------------------
+    # -- legacy counters (derived from the bus-fed stats) --------------------
+    @property
+    def submitted(self):
+        return self.stats.submitted
+
+    @property
+    def cancelled(self):
+        return self.stats.cancelled
+
+    # -- observation hooks (thin shims over bus subscriptions) ---------------
     def add_submit_listener(self, fn):
         """``fn(req)`` runs when a request enters the scheduler queues."""
-        self._submit_listeners.append(fn)
+        self.bus.subscribe(IO_SUBMIT, fn, source=self)
 
     def add_dispatch_listener(self, fn):
         """``fn(req)`` runs when a request enters the device."""
-        self._dispatch_listeners.append(fn)
+        self.bus.subscribe(IO_DISPATCH, fn, source=self)
 
     def add_complete_listener(self, fn):
         """``fn(req)`` runs when a request completes at the device."""
-        self._complete_listeners.append(fn)
+        self.bus.subscribe(IO_COMPLETE, fn, source=self)
 
     # -- public API ---------------------------------------------------------
     def submit(self, req):
         """Queue ``req`` and dispatch as far as device slots allow."""
         req.submit_time = self.sim.now
-        self.submitted += 1
         self._enqueue(req)
-        for fn in self._submit_listeners:
-            fn(req)
+        bus = self.bus
+        bus.emit(IO_SUBMIT, self, req)
+        if bus.recorder.active:
+            bus.record(IO_SUBMIT, request_fields(req))
         self._dispatch()
 
     def cancel(self, req):
@@ -52,7 +100,10 @@ class IOScheduler:
         """
         if self._remove(req):
             req.cancelled = True
-            self.cancelled += 1
+            bus = self.bus
+            bus.emit(IO_CANCEL, self, req)
+            if bus.recorder.active:
+                bus.record(IO_CANCEL, request_fields(req))
             req.finish(self.sim.now)
             return True
         return False
@@ -85,11 +136,17 @@ class IOScheduler:
                 return
             if req.cancelled:
                 continue
-            for fn in self._dispatch_listeners:
-                fn(req)
+            bus = self.bus
+            bus.emit(IO_DISPATCH, self, req)
+            if bus.recorder.active:
+                bus.record(IO_DISPATCH, request_fields(req))
             req.add_callback(self._on_complete)
             self.device.submit(req)
 
     def _on_complete(self, req):
-        for fn in self._complete_listeners:
-            fn(req)
+        bus = self.bus
+        bus.emit(IO_COMPLETE, self, req)
+        if bus.recorder.active:
+            fields = request_fields(req)
+            fields["latency"] = req.latency
+            bus.record(IO_COMPLETE, fields)

@@ -13,11 +13,22 @@ pages are missing.
 
 Writes are buffered (memtable/NVRAM absorb) and flushed in the background at
 Idle priority — the reason user-facing write latency is flat (§7.8.6).
+
+Observability: the OS emits ``os.read`` / ``os.write`` / ``os.ebusy``
+events on the simulator's bus (EBUSY events carry a ``probe`` flag so
+addrcheck rejections are distinguishable from read-path ones), and — when a
+recorder is active — a ``span.request`` event for every read outcome whose
+stages provably sum to the end-to-end latency the caller saw.  The legacy
+counters (``reads``, ``writes``, ``ebusy_returned``) are derived properties
+over :class:`OsStats`, itself just another bus subscriber.
 """
 
 from repro._units import MS, US
 from repro.devices.request import BlockRequest, IoClass, IoOp
 from repro.errors import EBusy
+from repro.obs.events import (OS_EBUSY, OS_READ, OS_WRITE, SPAN_REQUEST,
+                              request_fields)
+from repro.obs.spans import cache_hit_spans, ebusy_spans, request_spans
 
 
 class OsParams:
@@ -54,12 +65,38 @@ class ReadResult:
         return f"<ReadResult {where} {self.latency:.1f}us>"
 
 
+class OsStats:
+    """Bus-fed syscall counters for one OS instance."""
+
+    __slots__ = ("reads", "writes", "ebusy_returned", "addrcheck_ebusy")
+
+    def __init__(self):
+        self.reads = 0
+        self.writes = 0
+        self.ebusy_returned = 0
+        self.addrcheck_ebusy = 0
+
+    def on_read(self):
+        self.reads += 1
+
+    def on_write(self):
+        self.writes += 1
+
+    def on_ebusy(self, probe):
+        # Legacy compat: ``ebusy_returned`` counts every EBUSY, probe or
+        # not; ``addrcheck_ebusy`` separates the page-table-walk rejections.
+        self.ebusy_returned += 1
+        if probe:
+            self.addrcheck_ebusy += 1
+
+
 class OS:
     """One node's storage stack: cache above scheduler above device."""
 
     def __init__(self, sim, device, scheduler, cache=None, predictor=None,
                  params=None):
         self.sim = sim
+        self.bus = sim.bus
         self.device = device
         self.scheduler = scheduler
         self.cache = cache
@@ -69,11 +106,38 @@ class OS:
         self._dirty_bytes = 0
         self._flusher_running = False
         self._flush_offset = 0
-        self.ebusy_returned = 0
-        self.reads = 0
-        self.writes = 0
+        self.stats = OsStats()
+        self.bus.subscribe(OS_READ, self.stats.on_read, source=self)
+        self.bus.subscribe(OS_WRITE, self.stats.on_write, source=self)
+        self.bus.subscribe(OS_EBUSY, self.stats.on_ebusy, source=self)
         if predictor is not None:
             predictor.attach(self)
+
+    # -- legacy counters (derived from the bus-fed stats) --------------------
+    @property
+    def reads(self):
+        return self.stats.reads
+
+    @property
+    def writes(self):
+        return self.stats.writes
+
+    @property
+    def ebusy_returned(self):
+        return self.stats.ebusy_returned
+
+    @property
+    def addrcheck_ebusy(self):
+        """EBUSY verdicts issued for addrcheck probes only (subset of
+        ``ebusy_returned``)."""
+        return self.stats.addrcheck_ebusy
+
+    def _note_ebusy(self, probe, predicted_wait=None):
+        bus = self.bus
+        bus.emit(OS_EBUSY, self, probe)
+        if bus.recorder.active:
+            bus.record(OS_EBUSY, {"probe": probe,
+                                  "predicted_wait": predicted_wait})
 
     # -- reads -----------------------------------------------------------
     def read(self, file_id, offset, size, pid=0, ioclass=IoClass.BE,
@@ -85,11 +149,22 @@ class OS:
         callers track begin-execution or revoke queued IOs (tied requests).
         """
         ev = self.sim.event()
-        self.reads += 1
+        bus = self.bus
+        bus.emit(OS_READ, self)
+        recording = bus.recorder.active
+        if recording:
+            bus.record(OS_READ, {"file": file_id, "offset": offset,
+                                 "size": size, "pid": pid,
+                                 "deadline": deadline})
         start = self.sim.now
 
         if self.cache is not None and self.cache.touch(file_id, offset, size):
-            latency = self._memory_read_time(size)
+            latency = self._memory_read_time(offset, size)
+            if recording:
+                stages = cache_hit_spans(self.params.syscall_us, latency)
+                ev.add_callback(lambda _ev: bus.record(SPAN_REQUEST, {
+                    "outcome": "cache-hit", "file": file_id, "pid": pid,
+                    "total": latency, "stages": stages}))
             self.sim.schedule(latency, ev.try_succeed,
                               ReadResult(True, latency))
             return ev
@@ -106,10 +181,15 @@ class OS:
         if deadline is not None and self.predictor is not None:
             verdict = self.predictor.admit(req, deadline)
             if not verdict.accept:
-                self.ebusy_returned += 1
+                self._note_ebusy(False, verdict.predicted_wait)
                 if self.cache is not None:
                     # Fairness caveat (§4.4): keep populating the cache.
                     self.cache.note_ebusy_swapin(file_id, offset, size)
+                if recording:
+                    ebusy_us = self.params.ebusy_us
+                    ev.add_callback(lambda _ev: bus.record(SPAN_REQUEST, {
+                        "outcome": "ebusy", "file": file_id, "pid": pid,
+                        "total": ebusy_us, "stages": ebusy_spans(ebusy_us)}))
                 self.sim.schedule(self.params.ebusy_us, ev.try_succeed,
                                   EBusy(verdict.predicted_wait))
                 return ev
@@ -117,11 +197,22 @@ class OS:
         def on_complete(done_req):
             if done_req.cancelled:
                 # Late rejection (MittCFQ bump-back): EBUSY after the fact.
-                self.ebusy_returned += 1
+                self._note_ebusy(False, done_req.predicted_wait)
+                if bus.recorder.active:
+                    now = self.sim.now
+                    bus.record(SPAN_REQUEST, dict(
+                        request_fields(done_req), outcome="late-cancel",
+                        total=now - start,
+                        stages=request_spans(done_req, now)))
                 ev.try_succeed(EBusy(done_req.predicted_wait))
                 return
             if self.cache is not None:
                 self.cache.insert(file_id, offset, size)
+            if bus.recorder.active:
+                now = self.sim.now
+                bus.record(SPAN_REQUEST, dict(
+                    request_fields(done_req), outcome="complete",
+                    total=now - start, stages=request_spans(done_req, now)))
             ev.try_succeed(ReadResult(False, self.sim.now - start,
                                       done_req.predicted_wait))
 
@@ -129,8 +220,11 @@ class OS:
         self.scheduler.submit(req)
         return ev
 
-    def _memory_read_time(self, size):
-        pages = len(list(self.cache.pages_of(0, size))) if self.cache else 1
+    def _memory_read_time(self, offset, size):
+        # Walk the pages of the *actual* byte range: an unaligned read that
+        # straddles a page boundary touches one page more than a same-size
+        # aligned read.
+        pages = len(self.cache.pages_of(offset, size)) if self.cache else 1
         return (self.params.syscall_us + self.params.memory_read_base_us
                 + self.params.memory_read_per_page_us * pages)
 
@@ -152,12 +246,12 @@ class OS:
             probe.abs_deadline = self.sim.now + deadline
             verdict = self.predictor.admit(probe, deadline, probe_only=True)
             if not verdict.accept:
-                self.ebusy_returned += 1
+                self._note_ebusy(True, verdict.predicted_wait)
                 self.cache.note_ebusy_swapin(file_id, offset, size)
                 return EBusy(verdict.predicted_wait)
             return True
         if deadline < self._min_io_latency(size):
-            self.ebusy_returned += 1
+            self._note_ebusy(True)
             self.cache.note_ebusy_swapin(file_id, offset, size)
             return EBusy()
         return True
@@ -171,7 +265,11 @@ class OS:
     def write(self, file_id, offset, size, pid=0):
         """Buffered write: absorbed by memory/NVRAM, flushed in background."""
         ev = self.sim.event()
-        self.writes += 1
+        bus = self.bus
+        bus.emit(OS_WRITE, self)
+        if bus.recorder.active:
+            bus.record(OS_WRITE, {"file": file_id, "offset": offset,
+                                  "size": size, "pid": pid})
         self._dirty_bytes += size
         self.sim.schedule(self.params.nvram_write_us, ev.try_succeed, True)
         if (self._dirty_bytes >= self.params.flush_threshold_bytes

@@ -26,6 +26,14 @@ class AccuracyTracker:
     def observe_decision(self, req, rejected):
         req.tag["accuracy_rejected"] = rejected
 
+    def on_verdict(self, req, accept, probe=False):
+        """Bus adapter for ``predictor.verdict`` events.
+
+        Probe verdicts are tagged too: an addrcheck probe request is never
+        submitted, so it never completes and never skews the FP/FN counts.
+        """
+        self.observe_decision(req, rejected=not accept)
+
     def observe_completion(self, req):
         rejected = req.tag.get("accuracy_rejected")
         if rejected is None or req.abs_deadline is None:

@@ -36,11 +36,12 @@ class MittCache(Predictor):
         if os.cache is None:
             raise RuntimeError("MittCache requires an OS with a page cache")
         if self.io_predictor is not None:
-            # Stacked predictor shares the same OS (device bookkeeping).
+            # Stacked predictor shares the same OS (device bookkeeping) and
+            # wires onto the same bus streams as a directly-attached one.
             self.io_predictor.os = os
             self.io_predictor.sim = os.sim
-            os.scheduler.add_dispatch_listener(self.io_predictor._on_dispatch)
-            os.scheduler.add_complete_listener(self.io_predictor._on_complete)
+            self.io_predictor.bus = os.sim.bus
+            self.io_predictor._wire_bus(os.scheduler)
             self.io_predictor._attached()
 
     # The OS only consults the predictor on cache *misses*, so admit() here
@@ -55,6 +56,7 @@ class MittCache(Predictor):
         accept = service <= deadline + self.os.params.failover_hop_us
         if self.fault_injector is not None:
             accept = self.fault_injector.apply(accept)
+        self._emit_verdict(req, accept, probe_only, deadline, wait, service)
         self._note(accept, wait)
         return Verdict(accept, wait, service)
 

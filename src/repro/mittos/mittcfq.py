@@ -23,6 +23,7 @@ Two things change relative to MittNoop:
 """
 
 from repro.mittos.mittnoop import MittNoop
+from repro.obs.events import IO_SUBMIT
 
 
 class _LedgerEntry:
@@ -50,7 +51,8 @@ class MittCfq(MittNoop):
 
     def _attached(self):
         super()._attached()
-        self.os.scheduler.add_submit_listener(self._on_submit)
+        self.bus.subscribe(IO_SUBMIT, self._on_submit,
+                           source=self.os.scheduler)
 
     # -- CFQ-aware wait estimation ----------------------------------------------
     def _ahead_in_scheduler(self, req):

@@ -14,7 +14,17 @@ testbed).  The base class also hosts the two evaluation facilities:
   true IO completion can be compared against the prediction, and
 * **fault injection** (§7.7): flip decisions at a configured false-positive /
   false-negative rate to study tail sensitivity to prediction error.
+
+Bus wiring: :meth:`Predictor.attach` subscribes the predictor to its
+scheduler's ``io.dispatch`` / ``io.complete`` streams and — when an
+:class:`~repro.mittos.accounting.AccuracyTracker` is configured — makes the
+tracker a bus consumer of this predictor's ``predictor.verdict`` stream plus
+the scheduler's completions.  Every :meth:`admit` emits a verdict event
+carrying the decision *before* shadow-mode enforcement, tagged with the
+``probe`` flag so addrcheck probes stay distinguishable downstream.
 """
+
+from repro.obs.events import IO_COMPLETE, IO_DISPATCH, VERDICT, request_fields
 
 
 class Verdict:
@@ -45,6 +55,7 @@ class Predictor:
     def __init__(self, shadow=False, fault_injector=None, accuracy=None):
         self.os = None
         self.sim = None
+        self.bus = None
         #: Shadow mode: record decisions, enforce nothing (§7.6).
         self.shadow = shadow
         self.fault_injector = fault_injector
@@ -60,9 +71,21 @@ class Predictor:
         """Bind to an :class:`repro.kernel.syscall.OS` instance."""
         self.os = os
         self.sim = os.sim
-        os.scheduler.add_dispatch_listener(self._on_dispatch)
-        os.scheduler.add_complete_listener(self._on_complete)
+        self.bus = os.sim.bus
+        self._wire_bus(os.scheduler)
         self._attached()
+
+    def _wire_bus(self, scheduler):
+        """Subscribe this predictor (and its accuracy tracker) to the bus."""
+        self.bus.subscribe(IO_DISPATCH, self._on_dispatch, source=scheduler)
+        self.bus.subscribe(IO_COMPLETE, self._on_complete, source=scheduler)
+        if self.accuracy is not None:
+            # The tracker is just another bus consumer: it tags requests on
+            # this predictor's verdicts and grades them on completion.
+            self.bus.subscribe(VERDICT, self.accuracy.on_verdict,
+                               source=self)
+            self.bus.subscribe(IO_COMPLETE, self.accuracy.observe_completion,
+                               source=scheduler)
 
     def _attached(self):
         """Subclass hook: extra wiring after attach."""
@@ -83,22 +106,40 @@ class Predictor:
         if self.fault_injector is not None:
             accept = self.fault_injector.apply(accept)
 
+        self._emit_verdict(req, accept, probe_only, deadline, wait, service)
+
         if self.shadow:
             # Record the would-be decision; always run the IO (§7.6).
             req.shadow_ebusy = not accept
-            if self.accuracy is not None:
-                self.accuracy.observe_decision(req, rejected=not accept)
             self._note(True)
             if not probe_only:
                 self._on_admit(req)
             return Verdict(True, wait, service)
 
-        if self.accuracy is not None:
-            self.accuracy.observe_decision(req, rejected=not accept)
         self._note(accept, wait)
         if accept and not probe_only:
             self._on_admit(req)
         return Verdict(accept, wait, service)
+
+    def _emit_verdict(self, req, accept, probe, deadline, wait, service):
+        """Publish the (pre-shadow-enforcement) decision on the bus."""
+        bus = self.bus
+        if bus is not None:
+            bus.emit(VERDICT, self, req, accept, probe)
+            if bus.recorder.active:
+                # Plain-type coercion: latency models may hand back numpy
+                # scalars, which the canonical JSON encoder rejects.
+                bus.record(VERDICT, dict(
+                    request_fields(req), predictor=self.name,
+                    accept=bool(accept), probe=bool(probe),
+                    shadow=bool(self.shadow),
+                    deadline=None if deadline is None else float(deadline),
+                    predicted_wait=None if wait is None else float(wait),
+                    predicted_service=(None if service is None
+                                       else float(service))))
+        elif self.accuracy is not None:
+            # Unattached predictor (unit tests): no bus to consume from.
+            self.accuracy.on_verdict(req, accept, probe)
 
     def _note(self, accept, wait=None):
         if accept:
@@ -120,9 +161,8 @@ class Predictor:
         """Scheduler dispatched ``req`` into the device."""
 
     def _on_complete(self, req):
-        """Device completed ``req``."""
-        if self.accuracy is not None:
-            self.accuracy.observe_completion(req)
+        """Device completed ``req`` (accuracy grading is bus-subscribed
+        separately in :meth:`attach`)."""
 
     def min_io_latency(self, size):
         """Fastest possible device IO (MittCache's propagation floor)."""

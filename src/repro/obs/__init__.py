@@ -1,0 +1,38 @@
+"""repro.obs — the traced IO-path spine (observability plane).
+
+One :class:`TraceBus` per :class:`~repro.sim.core.Simulator` carries
+typed, sim-time-stamped events from every layer (syscall, scheduler,
+device, predictor, cache, network, strategies, fault plane) plus
+per-request/per-op latency spans that provably sum to end-to-end latency.
+
+Tracing is off by default (:class:`NullRecorder`: a single flag check per
+emit site).  Turn it on per-simulator::
+
+    rec = TraceRecorder()
+    sim = Simulator(seed=7, recorder=rec)
+
+or ambiently (what ``python -m repro.experiments <id> --trace`` does)::
+
+    with tracing(TraceRecorder()) as rec:
+        run_experiment()
+    print(LatencyBreakdown.from_events(rec.events).render())
+
+``python -m repro.obs summarize trace.jsonl`` renders an exported trace;
+``python -m repro.obs smoke`` / ``perfguard`` are the CI gates.
+"""
+
+from repro.obs import events
+from repro.obs.bus import (NullRecorder, TraceBus, TraceRecorder,
+                           default_paranoid, default_recorder,
+                           install_tracing, read_jsonl, reset_tracing,
+                           tracing)
+from repro.obs.events import TraceEvent
+from repro.obs.spans import (SPAN_SUM_TOLERANCE_US, check_span_invariant,
+                             request_spans, spans_sum)
+
+__all__ = [
+    "events", "TraceBus", "TraceEvent", "TraceRecorder", "NullRecorder",
+    "tracing", "install_tracing", "reset_tracing", "default_recorder",
+    "default_paranoid", "read_jsonl", "request_spans", "spans_sum",
+    "check_span_invariant", "SPAN_SUM_TOLERANCE_US",
+]

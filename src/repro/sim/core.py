@@ -5,6 +5,7 @@ import itertools
 import random
 
 from repro.errors import ProcessCrashed, SchedulingInPastError, SimulationError
+from repro.obs.bus import TraceBus, default_paranoid
 from repro.sim.events import AllOf, AnyOf, Event
 from repro.sim.process import Process
 from repro.sim.sanitizer import CountingRandom, ReplaySanitizer
@@ -48,14 +49,28 @@ class Simulator:
     side of the contract is enforced by ``python -m repro.analysis lint``.
     """
 
-    def __init__(self, seed=0, paranoid=False):
+    def __init__(self, seed=0, paranoid=False, recorder=None):
         self.now = 0.0
         self.seed = seed
         self._heap = []
         self._seq = itertools.count()
         self._rngs = {}
         self._crashes = []
+        if not paranoid:
+            paranoid = default_paranoid()  # ambient --paranoid default
         self.sanitizer = ReplaySanitizer() if paranoid else None
+        #: The observability spine: every layer emits typed, sim-time-
+        #: stamped events here.  With no recorder installed the bus costs
+        #: one flag check per emit site (NullRecorder default); pass
+        #: ``recorder=TraceRecorder()`` (or install an ambient one via
+        #: ``repro.obs.tracing``) to capture the full event stream.
+        self.bus = TraceBus(self, recorder=recorder)
+        # Per-run request numbering: req_id is identity-only (never used
+        # for scheduling) but it rides trace events, so same-seed runs
+        # must restart it to produce byte-identical traces.  Imported
+        # lazily — devices sit above sim in the layering.
+        from repro.devices.request import reset_req_ids
+        reset_req_ids()
 
     # -- scheduling ---------------------------------------------------------
     def schedule(self, delay, fn, *args):

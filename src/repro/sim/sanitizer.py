@@ -81,6 +81,17 @@ class ReplaySanitizer:
         if self.trace is not None:
             self.trace.append((time, seq, qual))
 
+    def observe_trace(self, line):
+        """Fold one TraceBus event (canonical JSON) into the replay hash.
+
+        Only called while a recorder is active, so un-traced paranoid runs
+        keep their historical hashes; traced same-seed runs must agree on
+        the *combined* executed-event + emitted-event stream.
+        """
+        self._hash.update(b"bus|")
+        self._hash.update(line.encode())
+        self._hash.update(b"\n")
+
     def hexdigest(self):
         """Hash of the trace so far (cheap; safe to call repeatedly)."""
         return self._hash.hexdigest()

@@ -1,0 +1,89 @@
+"""Tests of the latency-breakdown reducer and the obs/experiments CLIs."""
+
+from repro._units import MS
+from repro.metrics import LatencyBreakdown
+from repro.obs.bus import TraceRecorder
+from repro.obs.events import (IO_SUBMIT, SPAN_OP, SPAN_REQUEST, TraceEvent)
+from repro.sim import Simulator
+
+
+def _span(topic, total, stages, t=0.0):
+    return TraceEvent(t, topic, {"total": total, "stages": stages})
+
+
+def test_from_events_keeps_only_spans():
+    events = [
+        _span(SPAN_REQUEST, 100.0, {"scheduler-queue": 40.0,
+                                    "device-service": 60.0}),
+        TraceEvent(0.0, IO_SUBMIT, {"req": 1}),
+        _span(SPAN_OP, 900.0, {"network-hop": 600.0, "server": 300.0}),
+    ]
+    bd = LatencyBreakdown.from_events(events)
+    assert bd.events == 2
+    assert bd.totals["request"] == [100.0]
+    assert bd.totals["op"] == [900.0]
+    assert set(bd.stage_samples) == {"scheduler-queue", "device-service",
+                                     "network-hop", "server"}
+
+
+def test_rows_are_in_pipeline_order_with_percentiles():
+    bd = LatencyBreakdown()
+    for us in (1000.0, 2000.0, 3000.0):
+        bd.add("request", us, {"device-service": us - 100.0,
+                               "scheduler-queue": 100.0})
+    bd.add("op", 500.0, {"zz-custom": 500.0})
+    rows = bd.rows()
+    assert [r[0] for r in rows] == ["scheduler-queue", "device-service",
+                                    "zz-custom"]  # known order, then name
+    stage, count, p50, p95, p99, total = rows[1]
+    assert count == 3
+    assert p50 == 1900.0 / MS
+    assert total == (900.0 + 1900.0 + 2900.0) / MS
+
+
+def test_render_empty_and_populated():
+    assert "no span events" in LatencyBreakdown().render()
+    bd = LatencyBreakdown()
+    bd.add("request", 2000.0, {"device-service": 2000.0})
+    out = bd.render()
+    assert "Per-stage latency attribution" in out
+    assert "device-service" in out
+    assert "p99ms" in out
+    assert "request spans: n=1" in out
+
+
+def test_obs_summarize_cli(tmp_path, capsys):
+    from repro.obs.__main__ import main
+    rec = TraceRecorder()
+    sim = Simulator(seed=3, recorder=rec)
+    sim.bus.record(SPAN_REQUEST, {"total": 1500.0,
+                                  "stages": {"device-service": 1500.0}})
+    sim.bus.record(IO_SUBMIT, {"req": 0})
+    path = tmp_path / "t.jsonl"
+    rec.write_jsonl(path)
+
+    assert main(["summarize", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "device-service" in out
+    assert "2 events across 2 topics" in out
+    assert "span.request" in out
+
+
+def test_experiments_trace_flag(tmp_path, capsys):
+    from repro.experiments.__main__ import main
+    trace_path = tmp_path / "fig5.jsonl"
+    assert main(["fig5", "--seed", "3", "--trace", str(trace_path)]) == 0
+    out = capsys.readouterr().out
+    assert "Per-stage latency attribution" in out
+    assert "p95ms" in out
+    assert "digest" in out
+    assert trace_path.exists()
+    assert trace_path.read_text().count("\n") > 0
+
+
+def test_experiments_paranoid_flag(capsys):
+    from repro.experiments.__main__ import main
+    assert main(["writes", "--seed", "3", "--paranoid"]) == 0
+    out = capsys.readouterr().out
+    # paranoid alone records nothing, so no breakdown table is printed.
+    assert "Per-stage latency attribution" not in out

@@ -1,0 +1,166 @@
+"""Tests of the TraceBus: control plane, recorders, JSONL, ambient defaults."""
+
+import pytest
+
+from repro.obs.bus import (NullRecorder, TraceBus, TraceRecorder,
+                           default_paranoid, default_recorder,
+                           install_tracing, read_jsonl, reset_tracing,
+                           tracing)
+from repro.obs.events import IO_COMPLETE, IO_SUBMIT, TraceEvent
+from repro.sim import Simulator
+
+
+# -- control plane ----------------------------------------------------------
+def test_emit_reaches_only_matching_source(sim):
+    got_a, got_b = [], []
+    src_a, src_b = object(), object()
+    sim.bus.subscribe(IO_SUBMIT, got_a.append, source=src_a)
+    sim.bus.subscribe(IO_SUBMIT, got_b.append, source=src_b)
+    sim.bus.emit(IO_SUBMIT, src_a, "req1")
+    assert got_a == ["req1"]
+    assert got_b == []
+
+
+def test_subscribers_run_in_subscription_order(sim):
+    order = []
+    src = object()
+    sim.bus.subscribe(IO_SUBMIT, lambda _: order.append("first"), source=src)
+    sim.bus.subscribe(IO_SUBMIT, lambda _: order.append("second"), source=src)
+    sim.bus.emit(IO_SUBMIT, src, None)
+    assert order == ["first", "second"]
+
+
+def test_unsubscribe_stops_delivery(sim):
+    got = []
+    src = object()
+    sim.bus.subscribe(IO_SUBMIT, got.append, source=src)
+    sim.bus.unsubscribe(IO_SUBMIT, got.append, source=src)
+    sim.bus.emit(IO_SUBMIT, src, "x")
+    assert got == []
+
+
+def test_emit_with_no_subscribers_is_harmless(sim):
+    sim.bus.emit(IO_COMPLETE, object(), "anything")
+
+
+# -- recorders --------------------------------------------------------------
+def test_null_recorder_is_the_default(sim):
+    assert isinstance(sim.bus.recorder, NullRecorder)
+    assert sim.bus.recorder.active is False
+    assert sim.bus.recording is False
+
+
+def test_trace_recorder_captures_events():
+    rec = TraceRecorder()
+    sim = Simulator(seed=1, recorder=rec)
+    sim.schedule(5.0, lambda: sim.bus.record(IO_SUBMIT, {"req": 1}))
+    sim.run()
+    assert rec.count == 1
+    (ev,) = rec.events
+    assert ev.topic == IO_SUBMIT
+    assert ev.time == 5.0
+    assert ev.fields == {"req": 1}
+    assert rec.by_topic(IO_SUBMIT) == [ev]
+    assert rec.topic_counts() == {IO_SUBMIT: 1}
+
+
+def test_trace_digest_tracks_content():
+    rec_a, rec_b = TraceRecorder(), TraceRecorder()
+    for rec, req in ((rec_a, 1), (rec_b, 2)):
+        sim = Simulator(seed=1, recorder=rec)
+        sim.bus.record(IO_SUBMIT, {"req": req})
+    assert rec_a.trace_digest() != rec_b.trace_digest()
+
+
+def test_keep_events_false_keeps_only_the_digest():
+    rec = TraceRecorder(keep_events=False)
+    sim = Simulator(seed=1, recorder=rec)
+    sim.bus.record(IO_SUBMIT, {"req": 1})
+    assert rec.count == 1
+    assert rec.events is None
+    assert rec.trace_digest()
+    with pytest.raises(RuntimeError):
+        rec.by_topic(IO_SUBMIT)
+    with pytest.raises(RuntimeError):
+        rec.write_jsonl("/dev/null")
+
+
+def test_jsonl_round_trip(tmp_path):
+    rec = TraceRecorder()
+    sim = Simulator(seed=1, recorder=rec)
+    sim.bus.record(IO_SUBMIT, {"req": 1, "offset": 4096})
+    sim.schedule(3.5, lambda: sim.bus.record(IO_COMPLETE,
+                                             {"req": 1, "latency": 3.5}))
+    sim.run()
+    path = tmp_path / "trace.jsonl"
+    assert rec.write_jsonl(path) == 2
+    back = read_jsonl(path)
+    assert [ev.to_json() for ev in back] == \
+        [ev.to_json() for ev in rec.events]
+
+
+def test_trace_event_dict_round_trip():
+    ev = TraceEvent(1.5, IO_SUBMIT, {"req": 3, "pid": 7})
+    back = TraceEvent.from_dict(ev.to_dict())
+    assert (back.time, back.topic, back.fields) == \
+        (ev.time, ev.topic, ev.fields)
+
+
+# -- ambient tracing defaults -----------------------------------------------
+def test_tracing_context_installs_and_resets():
+    rec = TraceRecorder()
+    with tracing(rec, paranoid=True) as got:
+        assert got is rec
+        assert default_recorder() is rec
+        assert default_paranoid() is True
+        sim = Simulator(seed=3)
+        assert sim.bus.recorder is rec
+        assert sim.sanitizer is not None
+    assert default_recorder() is None
+    assert default_paranoid() is False
+    assert isinstance(Simulator(seed=3).bus.recorder, NullRecorder)
+
+
+def test_install_tracing_reset_on_exception():
+    rec = TraceRecorder()
+    install_tracing(rec)
+    try:
+        assert Simulator(seed=3).bus.recorder is rec
+    finally:
+        reset_tracing()
+    assert default_recorder() is None
+
+
+def test_explicit_recorder_overrides_ambient():
+    ambient, explicit = TraceRecorder(), TraceRecorder()
+    with tracing(ambient):
+        sim = Simulator(seed=3, recorder=explicit)
+        assert sim.bus.recorder is explicit
+
+
+def test_paranoid_trace_feeds_sanitizer_hash():
+    """Recorded events must change the sanitizer hash (and only then)."""
+
+    def run(record):
+        sim = Simulator(seed=5, paranoid=True, recorder=TraceRecorder())
+        if record:
+            sim.bus.record(IO_SUBMIT, {"req": 1})
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        return sim.trace_hash()
+
+    assert run(True) != run(False)
+    assert run(True) == run(True)
+
+
+def test_untraced_paranoid_hash_ignores_recorder_absence():
+    """Without a recorder the bus records nothing, so the sanitizer hash
+    is the pure event-loop hash (historical golden hashes stay valid)."""
+
+    def run():
+        sim = Simulator(seed=5, paranoid=True)
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        return sim.trace_hash()
+
+    assert run() == run()

@@ -1,0 +1,75 @@
+"""Golden regression pins: the bus refactor must be behavior-neutral.
+
+The hashes and counters below were captured on the pre-refactor tree and
+verified byte-identical after the refactor.  They pin three things:
+
+* the paranoid event-loop hashes of the fig3 and chaos replay scenarios
+  (the determinism contract: the bus added no events, callbacks, or RNG
+  draws);
+* a full counter set of a noisy 5-node MittOS cluster run — every legacy
+  counter that became a bus-derived property must still read the same;
+* the per-stream RNG draw counts of that run.
+
+If a change here is *intentional* (a new event, a scheduling change),
+recapture the values and say so in the commit message.
+"""
+
+from repro._units import MS, SEC
+from repro.experiments.common import (apply_ec2_noise, build_disk_cluster,
+                                      make_strategy, run_clients)
+from repro.sim import Simulator
+from repro.workloads import Ec2NoiseModel
+
+FIG3_REPLAY_HASH = "da413acd65e8ca0927c159e7f822d98d"
+CHAOS_REPLAY_HASH = "71459c76b51f11805bfdfb8801077031"
+
+
+def test_fig3_replay_hash_unchanged():
+    from repro.experiments.fig3 import replay_scenario
+    sim = Simulator(seed=7, paranoid=True)
+    replay_scenario(sim)
+    assert sim.trace_hash() == FIG3_REPLAY_HASH
+
+
+def test_chaos_replay_hash_unchanged():
+    from repro.experiments.faultsweep import replay_scenario
+    sim = Simulator(seed=7, paranoid=True)
+    replay_scenario(sim)
+    assert sim.trace_hash() == CHAOS_REPLAY_HASH
+
+
+def test_noisy_cluster_counters_unchanged():
+    """Seed-11 noisy cluster: all legacy counters pinned pre-refactor."""
+    sim = Simulator(seed=11, paranoid=True)
+    horizon = 20 * SEC
+    env = build_disk_cluster(sim, 5)
+    apply_ec2_noise(env, Ec2NoiseModel("disk"), horizon)
+    strategy = make_strategy("mittos", env.cluster, deadline_us=20 * MS)
+    rec = run_clients(env, strategy, n_clients=6, n_ops=60,
+                      think_time_us=2 * MS, name="mittos",
+                      limit_us=horizon)
+
+    assert len(rec) == 360
+    assert round(rec.p(50), 6) == 8.561593
+    assert round(rec.p(99), 6) == 22.900999
+    assert [n.os.ebusy_returned for n in env.nodes] == [0, 0, 42, 8, 2]
+    assert [n.os.reads for n in env.nodes] == [78, 68, 79, 111, 76]
+    assert [n.os.writes for n in env.nodes] == [0, 0, 0, 0, 0]
+    assert [n.os.scheduler.submitted for n in env.nodes] == \
+        [78, 68, 65, 103, 74]
+    assert [n.os.scheduler.cancelled for n in env.nodes] == [0, 0, 0, 0, 0]
+    assert [n.os.predictor.admitted for n in env.nodes] == \
+        [78, 68, 37, 103, 71]
+    assert [n.os.predictor.rejected for n in env.nodes] == [0, 0, 42, 8, 2]
+    assert [n.os.predictor.late_cancellations for n in env.nodes] == \
+        [0, 0, 0, 0, 0]
+    assert strategy.failovers == 52
+    assert strategy.all_busy == 3
+    assert sim.trace_hash() == "8f0016fffbed0dd4072dd0910c633463"
+    assert sim.rng_draws() == {
+        "disk/n0": 156, "disk/n1": 136, "disk/n2": 128, "disk/n3": 207,
+        "disk/n4": 149, "ec2": 37, "keys/0": 102, "keys/1": 103,
+        "keys/2": 94, "keys/3": 97, "keys/4": 87, "keys/5": 95,
+        "network": 824, "noise/n0": 0, "noise/n1": 0, "noise/n2": 33,
+        "noise/n3": 0, "noise/n4": 0,
+    }

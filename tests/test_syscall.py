@@ -155,6 +155,64 @@ def test_io_observer_sees_block_request(sim):
     assert seen[0].offset == 10 * GB
 
 
+def test_memory_read_time_charges_actual_pages_touched(sim):
+    """Regression: ``_memory_read_time`` ignored the read's offset, so an
+    unaligned read spanning two pages was billed like an aligned one."""
+    os_ = _os(sim, cache_pages=100)
+    os_.cache.insert(0, 0, 8 * KB)  # pages 0 and 1 resident
+    p = os_.params
+
+    def gen():
+        aligned = yield os_.read(0, 0, 4 * KB)
+        unaligned = yield os_.read(0, 2 * KB, 4 * KB)  # straddles 0|1
+        return aligned, unaligned
+
+    aligned, unaligned = run_process(sim, gen())
+    assert aligned.cache_hit and unaligned.cache_hit
+    one_page = p.syscall_us + p.memory_read_base_us \
+        + p.memory_read_per_page_us
+    assert aligned.latency == one_page
+    assert unaligned.latency == one_page + p.memory_read_per_page_us
+
+
+def test_addrcheck_ebusy_counted_separately(sim):
+    os_ = _os(sim, cache_pages=100, mitt=True)
+    verdict = os_.addrcheck(0, 0, 4 * KB, deadline=10.0)
+    assert is_ebusy(verdict)
+    assert os_.addrcheck_ebusy == 1
+    # Legacy compat: ebusy_returned still includes probe rejections.
+    assert os_.ebusy_returned == 1
+
+    def gen():
+        for i in range(6):
+            os_.read(0, i * 10 * GB, 4096 * KB, pid=9)
+        result = yield os_.read(0, 500 * GB, 4 * KB, pid=1,
+                                deadline=5 * MS)
+        return result
+
+    result = run_process(sim, gen())
+    assert is_ebusy(result)
+    assert os_.ebusy_returned == 2
+    assert os_.addrcheck_ebusy == 1  # read-path EBUSY is not a probe
+
+
+def test_addrcheck_probe_verdicts_tagged_on_bus():
+    from repro.kernel import PageCache
+    from repro.obs.bus import TraceRecorder
+    from repro.obs.events import OS_EBUSY, VERDICT
+    from repro.sim import Simulator
+
+    rec = TraceRecorder()
+    sim = Simulator(seed=4, recorder=rec)
+    os_ = _os(sim, cache_pages=100, mitt=True)
+    assert is_ebusy(os_.addrcheck(0, 0, 4 * KB, deadline=10.0))
+    (verdict,) = rec.by_topic(VERDICT)
+    assert verdict.fields["probe"] is True
+    assert verdict.fields["accept"] is False
+    (ebusy,) = rec.by_topic(OS_EBUSY)
+    assert ebusy.fields["probe"] is True
+
+
 def test_late_cancellation_returns_ebusy(sim):
     """MittCFQ bump-back: accepted IO cancelled later -> EBUSY."""
     os_ = _os(sim, mitt=True, depth=1)
