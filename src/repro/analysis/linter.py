@@ -11,6 +11,14 @@ from repro.analysis.rules import CHECKERS, RULES, ModuleContext
 #: ``# repro: allow[DET001]`` or ``# repro: allow[DET001,DET003] reason``.
 _ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Z0-9,\s]+)\]")
 
+#: ``# repro: allow-file[DET003] reason`` — suppresses the named rules for
+#: the whole file, but only when it appears in the first five lines so a
+#: reviewer can't miss it.
+_ALLOW_FILE_RE = re.compile(r"#\s*repro:\s*allow-file\[([A-Z0-9,\s]+)\]")
+
+#: How many leading lines may carry an allow-file pragma.
+_ALLOW_FILE_WINDOW = 5
+
 
 @dataclass(frozen=True)
 class Finding:
@@ -59,6 +67,17 @@ def _suppressions(source):
     return allowed
 
 
+def _file_suppressions(source):
+    """Rule IDs suppressed for the whole file (pragma in first 5 lines)."""
+    allowed = set()
+    for text in source.splitlines()[:_ALLOW_FILE_WINDOW]:
+        match = _ALLOW_FILE_RE.search(text)
+        if match:
+            allowed.update(part.strip() for part in
+                           match.group(1).split(",") if part.strip())
+    return allowed
+
+
 def lint_source(source, path, rules=None):
     """Lint one source string as if it lived at ``path``."""
     path = Path(path)
@@ -69,9 +88,12 @@ def lint_source(source, path, rules=None):
                         f"could not parse: {err.msg}")]
     ctx = ModuleContext(path.parts, tree)
     allowed = _suppressions(source)
+    file_allowed = _file_suppressions(source)
     findings = []
     for rule_id, checker in CHECKERS.items():
         if rules is not None and rule_id not in rules:
+            continue
+        if rule_id in file_allowed:
             continue
         for _, line, col, message in checker(tree, ctx):
             if rule_id in allowed.get(line, ()):
@@ -107,13 +129,50 @@ def lint_paths(paths, rules=None):
     return findings
 
 
+def _sarif(findings):
+    """A SARIF 2.1.0 log: one run, the full rule catalogue in the driver,
+    one result per finding.  Consumable by GitHub code scanning and most
+    editors' SARIF viewers."""
+    return {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "repro-determinism-lint",
+                "informationUri":
+                    "https://example.invalid/repro/analysis",
+                "rules": [{
+                    "id": rule.id,
+                    "name": rule.name,
+                    "shortDescription": {"text": rule.summary},
+                } for rule in RULES.values()],
+            }},
+            "results": [{
+                "ruleId": f.rule,
+                "level": "error" if f.rule == "DET000" else "warning",
+                "message": {"text": f.message},
+                "locations": [{"physicalLocation": {
+                    "artifactLocation": {
+                        "uri": f.path.replace("\\", "/"),
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {"startLine": f.line,
+                               "startColumn": f.col + 1},
+                }}],
+            } for f in findings],
+        }],
+    }
+
+
 def render_findings(findings, fmt="human"):
-    """Render findings as a human report or a JSON document."""
+    """Render findings as a human report, a JSON document, or SARIF."""
     if fmt == "json":
         return json.dumps({
             "findings": [f.to_dict() for f in findings],
             "count": len(findings),
         }, indent=2)
+    if fmt == "sarif":
+        return json.dumps(_sarif(findings), indent=2)
     if not findings:
         return "determinism lint: clean"
     lines = [f.render() for f in findings]

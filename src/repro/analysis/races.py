@@ -1,0 +1,236 @@
+"""Tie-order race detection — the dynamic prong of the determinism plane.
+
+A discrete-event simulation has a *tie-ordering race* when two events
+scheduled at the same sim timestamp produce different observable behaviour
+depending on which one the heap pops first — the DES analogue of a data
+race.  Under the default FIFO tie-break such a race is invisible: runs are
+perfectly reproducible, but the outcome (which replica got the EBUSY,
+which client drew the slow network latency) was silently decided by an
+internal sequence counter rather than by the model.
+
+:func:`perturb_ties` makes the race class *testable*: it re-runs a
+scenario N+1 times — once with the FIFO tie-break, then once per salt
+with ``Simulator(tie_policy=ShuffledTies(salt))``, which deterministically
+permutes same-timestamp execution order — and compares each run's
+**canonical timeline** against the baseline:
+
+* the executed-event stream ``(time, callback qualname)`` from the
+  :class:`~repro.sim.sanitizer.ReplaySanitizer`, and
+* the TraceBus event stream in canonical form
+  (:func:`repro.obs.bus.canonical_line` — volatile identity counters
+  dropped),
+
+both grouped by timestamp and **sorted within each group**, so a benign
+reorder of independent same-time events compares equal while any
+behavioural difference — an event that moved, appeared, or vanished —
+diverges.  On divergence the report pinpoints the *first* divergent
+timestamp group and names the two callback sites whose tie-break order
+first differed (the earliest point the perturbation could have acted).
+
+CLI: ``python -m repro.analysis races --scenario fig3 --perturbations 8``.
+"""
+
+import hashlib
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.obs.bus import TraceRecorder, canonical_line
+from repro.sim import ShuffledTies, Simulator
+
+
+@dataclass(frozen=True)
+class RaceRun:
+    """One scenario execution under one tie policy."""
+
+    salt: object           # None = baseline FIFO tie-break
+    digest: str            # canonical (tie-insensitive) timeline digest
+    bus_digest: str        # raw TraceBus digest (order-sensitive)
+    groups: tuple          # ((time, sorted records), ...) canonical timeline
+    ordered: tuple         # ((time, qualname), ...) raw execution order
+    rng_draws: dict        # per-stream draw counts
+
+    @property
+    def policy(self):
+        return "fifo" if self.salt is None else f"shuffle(salt={self.salt})"
+
+
+@dataclass(frozen=True)
+class TieDivergence:
+    """Why one perturbed run disagreed with the FIFO baseline."""
+
+    salt: int
+    time: float            # sim time of the first divergent timestamp group
+    baseline_only: tuple   # records present only in the baseline group
+    perturbed_only: tuple  # records present only in the perturbed group
+    race_sites: tuple      # ((time, callback), (time, callback)) at the
+                           # first execution-order difference per run
+    draw_mismatches: dict  # rng stream -> (baseline draws, perturbed draws)
+
+    def render(self):
+        lines = [f"salt {self.salt}: DIVERGED at t={self.time}"]
+        if self.race_sites:
+            (time_a, site_a), (time_b, site_b) = self.race_sites
+            if time_a == time_b and site_a != site_b:
+                lines.append(f"  racing callbacks (first tie reordered, "
+                             f"at t={time_a}):")
+            else:
+                lines.append("  first execution-order difference (the "
+                             "causal tie reordered same-named callbacks "
+                             "earlier):")
+            lines.append(f"    baseline ran : {site_a} at t={time_a}")
+            lines.append(f"    perturbed ran: {site_b} at t={time_b}")
+        lines.append(f"  first canonical divergence at t={self.time}:")
+        for record in self.baseline_only:
+            lines.append(f"    only in baseline : {record}")
+        for record in self.perturbed_only:
+            lines.append(f"    only in perturbed: {record}")
+        if not self.baseline_only and not self.perturbed_only:
+            lines.append("    (timeline group present in only one run)")
+        for name, (a, b) in sorted(self.draw_mismatches.items()):
+            lines.append(f"  rng stream '{name}': {a} draws vs {b}")
+        return "\n".join(lines)
+
+
+@dataclass
+class RaceReport:
+    """Outcome of one tie-order perturbation sweep."""
+
+    scenario: str
+    seed: int
+    salts: tuple
+    baseline: RaceRun
+    runs: list = field(default_factory=list)
+    divergences: list = field(default_factory=list)
+
+    @property
+    def ok(self):
+        return not self.divergences
+
+    def render(self):
+        lines = [f"tie-order perturbation: scenario={self.scenario} "
+                 f"seed={self.seed} perturbations={len(self.salts)}",
+                 f"  baseline (fifo): canonical digest "
+                 f"{self.baseline.digest}, "
+                 f"{len(self.baseline.ordered)} events"]
+        diverged = {d.salt: d for d in self.divergences}
+        for run in self.runs:
+            if run.salt in diverged:
+                lines.append(diverged[run.salt].render())
+            else:
+                lines.append(f"salt {run.salt}: OK (canonical digest "
+                             "identical)")
+        verdict = ("no tie-ordering races detected" if self.ok else
+                   f"{len(self.divergences)} divergent perturbation(s) — "
+                   "behaviour depends on the event-heap tie-break")
+        lines.append(f"result: {verdict}")
+        return "\n".join(lines)
+
+
+def _run_once(scenario, seed, salt, until=None):
+    """Run ``scenario`` once under one tie policy; canonicalize its trace."""
+    policy = None if salt is None else ShuffledTies(salt)
+    recorder = TraceRecorder()
+    sim = Simulator(seed=seed, paranoid=True, recorder=recorder,
+                    tie_policy=policy)
+    scenario(sim)
+    sim.run(until=until)
+
+    groups, ordered = {}, []
+    for time, _seq, qualname in sim.sanitizer.trace:
+        ordered.append((time, qualname))
+        groups.setdefault(time, []).append("evt|" + qualname)
+    for event in recorder.events:
+        groups.setdefault(event.time, []).append(
+            "bus|" + canonical_line(event))
+
+    canonical = tuple((time, tuple(sorted(groups[time])))
+                      for time in sorted(groups))
+    digest = hashlib.blake2b(digest_size=16)
+    for time, records in canonical:
+        digest.update(f"t={time!r}\n".encode())
+        for record in records:
+            digest.update(record.encode())
+            digest.update(b"\n")
+    return RaceRun(salt=salt, digest=digest.hexdigest(),
+                   bus_digest=recorder.trace_digest(), groups=canonical,
+                   ordered=tuple(ordered), rng_draws=sim.rng_draws())
+
+
+def _first_group_mismatch(base, pert):
+    """(time, baseline_only, perturbed_only) of the first divergent group."""
+    for (time_a, recs_a), (time_b, recs_b) in zip(base.groups, pert.groups):
+        if time_a != time_b:
+            earlier_is_base = time_a < time_b
+            return (min(time_a, time_b),
+                    recs_a if earlier_is_base else (),
+                    () if earlier_is_base else recs_b)
+        if recs_a != recs_b:
+            only_a = Counter(recs_a) - Counter(recs_b)
+            only_b = Counter(recs_b) - Counter(recs_a)
+            return (time_a, tuple(sorted(only_a.elements())),
+                    tuple(sorted(only_b.elements())))
+    if len(base.groups) != len(pert.groups):
+        longer = base.groups if len(base.groups) > len(pert.groups) \
+            else pert.groups
+        time, records = longer[min(len(base.groups), len(pert.groups))]
+        if longer is base.groups:
+            return time, records, ()
+        return time, (), records
+    return None
+
+
+def _first_order_difference(base, pert):
+    """``((t, site), (t, site))`` where execution order first differs.
+
+    When both times are equal this *is* the racing pair: runs are
+    identical up to this index, so both heaps hold the same pending set
+    and only the tie-break chose differently between the two callbacks.
+    When the times differ, the causal tie reordered callbacks sharing one
+    qualname earlier (invisible at qualname granularity) and this is the
+    first downstream effect.
+    """
+    for pair_a, pair_b in zip(base.ordered, pert.ordered):
+        if pair_a != pair_b:
+            return (pair_a, pair_b)
+    return ()
+
+
+def perturb_ties(scenario, seed=0, perturbations=8, until=None, salts=None,
+                 scenario_name=None):
+    """Run ``scenario(sim)`` under FIFO + ``perturbations`` shuffled
+    tie-breaks; returns a :class:`RaceReport` (``report.ok`` means no
+    tie-ordering race was observed).
+
+    ``scenario`` receives a fresh paranoid, trace-recording simulator per
+    run and may schedule work, run the sim itself, or both; pending events
+    are drained with ``sim.run(until=until)``.  ``salts`` overrides the
+    default ``1..perturbations`` salt sequence.
+    """
+    if salts is None:
+        salts = tuple(range(1, perturbations + 1))
+    name = scenario_name or getattr(scenario, "__qualname__",
+                                    type(scenario).__name__)
+    baseline = _run_once(scenario, seed, None, until=until)
+    report = RaceReport(scenario=name, seed=seed, salts=tuple(salts),
+                        baseline=baseline)
+    for salt in salts:
+        run = _run_once(scenario, seed, salt, until=until)
+        report.runs.append(run)
+        if run.digest == baseline.digest:
+            continue
+        mismatch = _first_group_mismatch(baseline, run)
+        time, base_only, pert_only = mismatch if mismatch else \
+            (float("nan"), (), ())
+        race_sites = _first_order_difference(baseline, run)
+        draw_mismatches = {}
+        streams = baseline.rng_draws.keys() | run.rng_draws.keys()
+        for stream in sorted(streams):
+            a = baseline.rng_draws.get(stream, 0)
+            b = run.rng_draws.get(stream, 0)
+            if a != b:
+                draw_mismatches[stream] = (a, b)
+        report.divergences.append(TieDivergence(
+            salt=salt, time=time, baseline_only=base_only,
+            perturbed_only=pert_only, race_sites=race_sites,
+            draw_mismatches=draw_mismatches))
+    return report

@@ -1,4 +1,4 @@
-"""Determinism lint rules DET001-DET005.
+"""Determinism lint rules DET001-DET010.
 
 Each rule is an AST checker with a stable ID.  Rules are deliberately
 syntactic (no type inference): they encode the *project conventions* that
@@ -17,10 +17,24 @@ DET004      ``==`` / ``!=`` between two simulation timestamps
             (float equality breaks under re-ordered arithmetic)
 DET005      ``heapq`` mutation outside ``sim/core.py`` (the event heap
             has exactly one owner)
+DET006      named-RNG-stream discipline: a stream whose first path
+            segment names a package (``faults/net``, ``devices/...``)
+            may only be drawn from inside that package
+DET007      ``schedule``/``schedule_at``/``timeout`` with a time derived
+            from a nondeterministic source (wall clock, ``id()``,
+            ``hash()``) instead of sim time / model constants
+DET008      mutable default arguments (state shared by every call), and
+            scheduled lambdas mutating closure-captured containers
+DET009      raw-float unit conversion (``* 1000``, ``/ 1e6``, ...) on
+            time values, bypassing the ``_units.py`` constants/helpers
+DET010      cross-layer mutation: device code assigning to
+            scheduler/cluster/OS state instead of going through the bus
+            or a scheduled event
 ==========  ============================================================
 
 Suppress a finding with ``# repro: allow[DET00X]`` on the offending line
-or on a comment line directly above it, plus a reason.
+or on a comment line directly above it, plus a reason; suppress a whole
+file with ``# repro: allow-file[DET00X]`` in its first five lines.
 """
 
 import ast
@@ -49,6 +63,40 @@ HEAPQ_MUTATORS = frozenset({
     "heappush", "heappop", "heapify", "heapreplace", "heappushpop",
 })
 
+#: Package directories that own same-named RNG stream prefixes (DET006):
+#: a stream ``faults/net`` may only be drawn by code under ``faults/``.
+RNG_OWNER_PACKAGES = frozenset({
+    "sim", "kernel", "devices", "cluster", "faults", "engines",
+    "workloads", "metrics", "experiments", "obs", "extensions", "mittos",
+    "analysis",
+})
+
+#: Methods that put a callback on the event heap (DET007/DET008).
+SCHEDULE_METHODS = frozenset({
+    "schedule", "schedule_at", "schedule_in", "timeout",
+})
+
+#: Callback-registration methods whose lambdas run as event callbacks.
+CALLBACK_METHODS = SCHEDULE_METHODS | frozenset({
+    "subscribe", "add_callback",
+})
+
+#: Container methods that mutate their receiver (DET008/DET010).
+CONTAINER_MUTATORS = frozenset({
+    "append", "appendleft", "add", "update", "extend", "insert",
+    "setdefault", "remove", "discard", "clear", "pop", "popleft",
+})
+
+#: Time-unit constants exported by ``repro._units``.
+TIME_UNIT_NAMES = frozenset({"NS", "US", "MS", "SEC", "MINUTE", "HOUR"})
+
+#: Magic numbers that smell like unit conversions (DET009): µs/ms/s scale
+#: factors.  ``1000`` covers ``1e3``; int/float equality unifies both.
+UNIT_CONVERSION_LITERALS = (1000, 1_000_000, 0.001, 1e-6)
+
+#: Attribute segments naming layers above the device (DET010).
+UPPER_LAYER_SEGMENTS = frozenset({"scheduler", "cluster", "os"})
+
 
 @dataclass(frozen=True)
 class Rule:
@@ -69,6 +117,17 @@ RULES = {r.id: r for r in [
          "==/!= between two simulation timestamps"),
     Rule("DET005", "foreign-heap-mutation",
          "heapq mutation outside sim/core.py"),
+    Rule("DET006", "foreign-rng-stream",
+         "drawing a package-owned RNG stream from outside its package"),
+    Rule("DET007", "nondeterministic-schedule-time",
+         "schedule/timeout with a time not derived from sim time or "
+         "model constants"),
+    Rule("DET008", "shared-mutable-callback-state",
+         "mutable default arguments / closure-mutating scheduled lambdas"),
+    Rule("DET009", "raw-unit-conversion",
+         "raw-float time unit conversion bypassing _units.py"),
+    Rule("DET010", "cross-layer-mutation",
+         "device code writing scheduler/cluster state directly"),
 ]}
 
 
@@ -77,9 +136,12 @@ class ModuleContext:
 
     def __init__(self, path_parts, tree):
         parts = set(path_parts)
+        self.path_parts = parts
         self.in_scheduling = bool(parts & SCHEDULING_PARTS)
         self.wallclock_exempt = bool(parts & WALLCLOCK_EXEMPT_PARTS)
         self.is_sim_core = tuple(path_parts[-2:]) == ("sim", "core.py")
+        self.in_devices = "devices" in parts
+        self.is_units = bool(path_parts) and path_parts[-1] == "_units.py"
 
         # Import aliases, collected once.
         self.random_mods = set()       # names bound to the random module
@@ -192,33 +254,39 @@ def check_det001(tree, ctx):
 
 # -- DET002: wall-clock reads ----------------------------------------------
 
+def _wallclock_call(node, ctx):
+    """The display name of a host-clock read, if ``node`` is one (a Call
+    like ``time.time()`` / ``datetime.now()``), else None.  Shared by
+    DET002 (any wall-clock read) and DET007 (wall clock feeding a
+    schedule time)."""
+    if not isinstance(node, ast.Call):
+        return None
+    chain = dotted_name(node.func)
+    if chain and len(chain) == 2:
+        root, fn = chain
+        if root in ctx.time_mods and fn in WALL_FNS:
+            return f"time.{fn}()"
+        if root in ctx.datetime_classes and fn in ("now", "utcnow", "today"):
+            return f"datetime.{fn}()"
+        if root in ctx.date_classes and fn == "today":
+            return "date.today()"
+    elif chain and len(chain) == 3 and chain[0] in ctx.datetime_mods:
+        if chain[1] == "datetime" and chain[2] in ("now", "utcnow", "today"):
+            return f"datetime.datetime.{chain[2]}()"
+        if chain[1] == "date" and chain[2] == "today":
+            return "datetime.date.today()"
+    elif isinstance(node.func, ast.Name) and \
+            ctx.from_time.get(node.func.id) in WALL_FNS:
+        return f"time.{ctx.from_time[node.func.id]}()"
+    return None
+
+
 def check_det002(tree, ctx):
     if ctx.wallclock_exempt:
         return []
     findings = []
     for node in ast.walk(tree):
-        if not isinstance(node, ast.Call):
-            continue
-        chain = dotted_name(node.func)
-        bad = None
-        if chain and len(chain) == 2:
-            root, fn = chain
-            if root in ctx.time_mods and fn in WALL_FNS:
-                bad = f"time.{fn}()"
-            elif root in ctx.datetime_classes and \
-                    fn in ("now", "utcnow", "today"):
-                bad = f"datetime.{fn}()"
-            elif root in ctx.date_classes and fn == "today":
-                bad = "date.today()"
-        elif chain and len(chain) == 3 and chain[0] in ctx.datetime_mods:
-            if chain[1] == "datetime" and chain[2] in ("now", "utcnow",
-                                                       "today"):
-                bad = f"datetime.datetime.{chain[2]}()"
-            elif chain[1] == "date" and chain[2] == "today":
-                bad = "datetime.date.today()"
-        elif isinstance(node.func, ast.Name) and \
-                ctx.from_time.get(node.func.id) in WALL_FNS:
-            bad = f"time.{ctx.from_time[node.func.id]}()"
+        bad = _wallclock_call(node, ctx)
         if bad:
             findings.append(_finding(
                 "DET002", node,
@@ -378,10 +446,225 @@ def check_det005(tree, ctx):
     return findings
 
 
+# -- DET006: named-RNG-stream ownership ------------------------------------
+
+def _stream_literal(node):
+    """The (possibly partial) string literal of an rng stream argument:
+    a plain str constant, or the leading constant chunk of an f-string
+    (``f"faults/{node}"`` still reveals the owning prefix)."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.JoinedStr) and node.values and \
+            isinstance(node.values[0], ast.Constant) and \
+            isinstance(node.values[0].value, str):
+        return node.values[0].value
+    return None
+
+
+def check_det006(tree, ctx):
+    findings = []
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "rng" and node.args):
+            continue
+        stream = _stream_literal(node.args[0])
+        if not stream or "/" not in stream:
+            continue
+        owner = stream.split("/", 1)[0]
+        if owner in RNG_OWNER_PACKAGES and owner not in ctx.path_parts:
+            findings.append(_finding(
+                "DET006", node,
+                f"rng stream '{stream}' is owned by the {owner}/ package — "
+                "drawing it here splits the stream's draw sequence across "
+                "layers; take a stream named after this package instead"))
+    return findings
+
+
+# -- DET007: nondeterministic schedule times -------------------------------
+
+def check_det007(tree, ctx):
+    findings = []
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in SCHEDULE_METHODS
+                and node.args):
+            continue
+        for sub in ast.walk(node.args[0]):
+            bad = _wallclock_call(sub, ctx)
+            if bad is None and isinstance(sub, ast.Call) and \
+                    isinstance(sub.func, ast.Name) and \
+                    sub.func.id in ("id", "hash"):
+                bad = f"{sub.func.id}(...)"
+            if bad:
+                findings.append(_finding(
+                    "DET007", node,
+                    f"{node.func.attr}() time derived from {bad} — event "
+                    "times must come from sim.now and model constants, "
+                    "never the host process"))
+                break
+    return findings
+
+
+# -- DET008: shared mutable callback state ---------------------------------
+
+_MUTABLE_FACTORIES = frozenset({
+    "list", "dict", "set", "bytearray", "defaultdict", "deque",
+    "OrderedDict", "Counter",
+})
+
+
+def _is_mutable_default(node):
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.SetComp, ast.DictComp)):
+        return True
+    if isinstance(node, ast.Call):
+        chain = dotted_name(node.func)
+        return bool(chain) and chain[-1] in _MUTABLE_FACTORIES
+    return False
+
+
+def _lambda_params(node):
+    a = node.args
+    return {p.arg for p in
+            a.posonlyargs + a.args + a.kwonlyargs
+            + ([a.vararg] if a.vararg else [])
+            + ([a.kwarg] if a.kwarg else [])}
+
+
+def check_det008(tree, ctx):
+    findings = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            defaults = list(node.args.defaults) + \
+                [d for d in node.args.kw_defaults if d is not None]
+            for default in defaults:
+                if _is_mutable_default(default):
+                    findings.append(_finding(
+                        "DET008", default,
+                        "mutable default argument — one instance is shared "
+                        "by every call (and every replay); default to None "
+                        "and allocate inside the body"))
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in CALLBACK_METHODS):
+            continue
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            if not isinstance(arg, ast.Lambda):
+                continue
+            params = _lambda_params(arg)
+            for sub in ast.walk(arg.body):
+                if not (isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Attribute)
+                        and sub.func.attr in CONTAINER_MUTATORS):
+                    continue
+                chain = dotted_name(sub.func)
+                if chain and chain[0] not in params and \
+                        chain[0] not in ("self", "cls"):
+                    findings.append(_finding(
+                        "DET008", sub,
+                        f"scheduled lambda mutates closure-captured "
+                        f"'{chain[0]}' via .{sub.func.attr}() — callback "
+                        "ordering decides the final state; pass state "
+                        "explicitly or mutate from one owner"))
+    return findings
+
+
+# -- DET009: raw-float unit conversion -------------------------------------
+
+def _is_conversion_literal(node):
+    return (isinstance(node, ast.Constant)
+            and not isinstance(node.value, bool)
+            and isinstance(node.value, (int, float))
+            and any(node.value == lit for lit in UNIT_CONVERSION_LITERALS))
+
+
+def _mentions_time(node):
+    for sub in ast.walk(node):
+        if _timestamp_like(sub):
+            return True
+        if isinstance(sub, ast.Name) and sub.id in TIME_UNIT_NAMES:
+            return True
+        if isinstance(sub, ast.Attribute) and sub.attr in TIME_UNIT_NAMES:
+            return True
+    return False
+
+
+def check_det009(tree, ctx):
+    if ctx.is_units:
+        return []  # _units.py is the one place conversions live
+    findings = []
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.BinOp)
+                and isinstance(node.op, (ast.Mult, ast.Div))):
+            continue
+        for literal, other in ((node.left, node.right),
+                               (node.right, node.left)):
+            if _is_conversion_literal(literal) and _mentions_time(other):
+                op = "*" if isinstance(node.op, ast.Mult) else "/"
+                findings.append(_finding(
+                    "DET009", node,
+                    f"raw unit conversion '{op} {literal.value!r}' on a "
+                    "time value — use the _units.py constants (MS, SEC, "
+                    "...) so every layer agrees on the scale"))
+                break
+    return findings
+
+
+# -- DET010: cross-layer mutation from device code -------------------------
+
+def check_det010(tree, ctx):
+    if not ctx.in_devices:
+        return []
+    findings = []
+
+    def layer_segment(segments):
+        """An upper-layer name reached *through* an attribute chain
+        (index >= 1: ``self.scheduler...``, not a local named
+        ``scheduler``, and not plain attribute wiring like
+        ``self.scheduler = s`` where the layer is the final target)."""
+        for segment in segments[1:]:
+            if segment in UPPER_LAYER_SEGMENTS:
+                return segment
+        return None
+
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) \
+                else [node.target]
+            for target in targets:
+                chain = dotted_name(target)
+                if chain and layer_segment(chain[:-1]):
+                    findings.append(_finding(
+                        "DET010", target,
+                        f"device code assigns {'.'.join(chain)} — writes "
+                        "into scheduler/cluster/OS state must go through "
+                        "the bus or a scheduled event, not reach across "
+                        "layers"))
+        elif isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Attribute) and \
+                node.func.attr in CONTAINER_MUTATORS:
+            chain = dotted_name(node.func)
+            if chain and layer_segment(chain[:-1]):
+                findings.append(_finding(
+                    "DET010", node,
+                    f"device code mutates {'.'.join(chain[:-1])} via "
+                    f".{node.func.attr}() — cross-layer writes must go "
+                    "through the bus or a scheduled event"))
+    return findings
+
+
 CHECKERS = {
     "DET001": check_det001,
     "DET002": check_det002,
     "DET003": check_det003,
     "DET004": check_det004,
     "DET005": check_det005,
+    "DET006": check_det006,
+    "DET007": check_det007,
+    "DET008": check_det008,
+    "DET009": check_det009,
+    "DET010": check_det010,
 }

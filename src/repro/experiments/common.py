@@ -192,7 +192,7 @@ def make_strategy(name, cluster, deadline_us=None, **kwargs):
 
 def run_clients(env, strategy, n_clients, n_ops, scale_factor=1,
                 think_time_us=2 * MS, name="", key_dist="uniform",
-                limit_us=None):
+                limit_us=None, stagger_us=0.0):
     """Run YCSB clients against the env; returns the latency recorder."""
     sim = env.sim
     if key_dist == "uniform":
@@ -205,7 +205,7 @@ def run_clients(env, strategy, n_clients, n_ops, scale_factor=1,
         raise ValueError(f"unknown key distribution: {key_dist}")
     recorder, procs = run_ycsb(sim, lambda i: strategy, dists, n_clients,
                                n_ops, scale_factor, think_time_us,
-                               name=name)
+                               name=name, stagger_us=stagger_us)
     sim.run_until(sim.all_of(procs), limit=limit_us)
     return recorder
 

@@ -147,6 +147,46 @@ def replay_scenario(sim):
                 think_time_us=2 * MS, name="mittos", limit_us=horizon)
 
 
+def race_scenario(sim):
+    """The faulted scenario wired for the tie-order race harness.
+
+    Identical to :func:`replay_scenario` except that client starts are
+    staggered (client ``i`` begins at ``i * 17 µs``).  Synchronized
+    starts are *symmetrically* tie-sensitive: every client's first RPC
+    draws its hop latency from the shared ``network`` stream inside the
+    same t=0 tie group, so the heap's tie-break — not the model —
+    assigns draws to clients, and ``python -m repro.analysis races``
+    rightly reports the divergence.  Real clients never start in
+    lockstep; with the stagger, the rest of the run (fault transitions,
+    EBUSY failover, crash/restart, storms) must be insensitive to tie
+    order, which the ``race-smoke`` CI job asserts.
+    """
+    horizon = 3 * SEC
+    spec = FaultSpec(
+        message_loss=(MessageLoss(rate=0.1),),
+        crashes=(CrashWindow(node=1, start_us=0.5 * SEC,
+                             duration_us=1 * SEC),),
+        fail_slow=(FailSlow(node=2, start_us=1 * SEC, duration_us=1 * SEC,
+                            cpu_factor=4.0, device_factor=2.0),),
+        device_storms=(DeviceStorm(node=0, start_us=1.5 * SEC,
+                                   duration_us=1 * SEC, factor=2.0,
+                                   spike_prob=0.1),),
+        read_errors=(ReadErrors(rate=0.05, node=3),),
+        false_positive_rate=0.05,
+        rpc_timeout_us=60 * MS,
+        op_budget_us=1 * SEC,
+        max_attempts=6,
+    )
+    plane = FaultPlane(sim, spec)
+    env = build_disk_cluster(sim, 6,
+                             fault_injector=plane.decision_injector)
+    plane.arm(env.cluster)
+    strategy = make_strategy("mittos", env.cluster, deadline_us=25 * MS)
+    run_clients(env, strategy, n_clients=4, n_ops=25,
+                think_time_us=2 * MS, name="mittos", limit_us=horizon,
+                stagger_us=17.0)
+
+
 def chaos_smoke(seed=7):
     """CI gate: the same-seed faulted scenario must replay byte-identically
     under ``Simulator(paranoid=True)``.  Returns a process exit code."""

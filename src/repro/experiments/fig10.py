@@ -11,7 +11,7 @@ setup runs with controlled decision errors injected into MittCFQ:
   wasted hops per request) and the tail is *worse than Base*.
 """
 
-from repro._units import MS
+from repro._units import MS, SEC
 from repro.experiments.common import (ExperimentResult, apply_ec2_noise,
                                       build_disk_cluster, make_strategy,
                                       percentile_rows, run_clients)
@@ -47,7 +47,7 @@ def _run_line(kind, rate, deadline_us, params, seed):
 def run(quick=True, seed=7):
     params = dict(n_nodes=20, n_clients=20 if quick else 30,
                   n_ops=400 if quick else 1200,
-                  horizon_us=(60 if quick else 150) * MS * 1000)
+                  horizon_us=(60 if quick else 150) * SEC)
 
     base = _run_line(None, 0.0, None, params, seed)
     deadline = base.p(95) * MS

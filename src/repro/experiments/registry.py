@@ -23,6 +23,22 @@ EXPERIMENTS = {
 }
 
 
+#: scenario id -> (module, attribute, description) of a *scenario hook*: a
+#: callable taking one caller-supplied ``Simulator`` that schedules (and
+#: may run) a scaled-down, deterministic slice of the experiment.  Hooks
+#: feed the determinism tooling — ``repro.analysis.verify_replay`` and the
+#: tie-order perturbation harness ``python -m repro.analysis races``.
+SCENARIOS = {
+    "fig3": ("repro.experiments.fig3", "replay_scenario",
+             "scaled-down fig3 disk probe (3 nodes, 2 s)"),
+    "faultsweep": ("repro.experiments.faultsweep", "race_scenario",
+                   "faulted MittOS cluster slice (staggered client starts)"),
+    "chaos": ("repro.experiments.faultsweep", "replay_scenario",
+              "faulted MittOS cluster slice (synchronized client starts; "
+              "replay verification only — see race_scenario)"),
+}
+
+
 def get_experiment(experiment_id):
     """The run() callable for an experiment id."""
     try:
@@ -32,3 +48,14 @@ def get_experiment(experiment_id):
                        f"known: {', '.join(sorted(EXPERIMENTS))}") from None
     module = importlib.import_module(module_name)
     return module.run
+
+
+def get_scenario(scenario_id):
+    """The scenario-hook callable for a scenario id."""
+    try:
+        module_name, attr, _ = SCENARIOS[scenario_id]
+    except KeyError:
+        raise KeyError(f"unknown scenario: {scenario_id}; "
+                       f"known: {', '.join(sorted(SCENARIOS))}") from None
+    module = importlib.import_module(module_name)
+    return getattr(module, attr)

@@ -22,8 +22,32 @@ byte-identical traces — ``python -m repro.obs smoke`` is the CI gate.
 """
 
 import hashlib
+import json
 
-from repro.obs.events import TraceEvent
+from repro.obs.events import TraceEvent, _plain
+
+#: Field keys excluded from the *canonical* (tie-insensitive) trace form:
+#: identity labels whose assignment rides scheduling order.  Two runs that
+#: differ only in same-timestamp tie order hand out ``req`` ids in a
+#: different order, and interchangeable concurrent actors (e.g. the two
+#: reader processes of one noise injector) swap which ``pid`` drew which
+#: offset — pure relabelings.  A *behavioural* difference still diverges
+#: through event times, offsets, topics, and per-stream draw counts.
+VOLATILE_FIELDS = frozenset({"req", "pid"})
+
+
+def canonical_line(event, volatile=VOLATILE_FIELDS):
+    """Order-insensitive canonical form of one trace event.
+
+    Drops the timestamp (it becomes the group key) and the volatile
+    identity counters, and sorts the remaining field keys — so two events
+    describing the same occurrence serialize identically regardless of
+    the same-timestamp order they were emitted in.  This is the bus-side
+    half of the tie-order race detector (``repro.analysis.races``).
+    """
+    fields = {k: v for k, v in event.fields.items() if k not in volatile}
+    return event.topic + "|" + json.dumps(
+        fields, sort_keys=True, separators=(",", ":"), default=_plain)
 
 # -- session defaults (what `--trace` / `--paranoid` install) ----------------
 _defaults = {"recorder": None, "paranoid": False}
@@ -105,6 +129,37 @@ class TraceRecorder:
         """Hash of every recorded event so far (sim-clock only, so two
         same-seed runs must agree)."""
         return self._hash.hexdigest()
+
+    def canonical_digest(self, volatile=VOLATILE_FIELDS):
+        """Tie-insensitive digest: events grouped by timestamp, sorted
+        within each group, volatile identity counters dropped.
+
+        Two same-seed runs that differ *only* in how same-timestamp ties
+        were broken produce the same canonical digest; a mismatch means
+        the tie-break changed observable behaviour (a tie-order race —
+        see ``python -m repro.analysis races``).
+        """
+        if self.events is None:
+            raise RuntimeError("recorder was built with keep_events=False")
+        digest = hashlib.blake2b(digest_size=16)
+        group, group_time = [], None
+        for ev in self.events + [None]:
+            # Exact float equality is the grouping criterion by
+            # construction: ties share the heap's timestamp bit-for-bit.
+            if ev is not None and \
+                    (group_time is None
+                     or ev.time == group_time):  # repro: allow[DET004]
+                group.append(canonical_line(ev, volatile))
+                group_time = ev.time
+                continue
+            if group:
+                digest.update(f"t={group_time!r}\n".encode())
+                for line in sorted(group):
+                    digest.update(line.encode())
+                    digest.update(b"\n")
+            if ev is not None:
+                group, group_time = [canonical_line(ev, volatile)], ev.time
+        return digest.hexdigest()
 
     # -- consumption ------------------------------------------------------
     def by_topic(self, topic):

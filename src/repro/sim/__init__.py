@@ -7,10 +7,10 @@ objects are one-shot triggers with callbacks; and
 events or timeouts, in the style of SimPy.
 """
 
-from repro.sim.core import Simulator
+from repro.sim.core import ShuffledTies, Simulator
 from repro.sim.events import AllOf, AnyOf, Event
 from repro.sim.process import Process
 from repro.sim.sanitizer import ReplaySanitizer
 
-__all__ = ["Simulator", "Event", "AllOf", "AnyOf", "Process",
-           "ReplaySanitizer"]
+__all__ = ["Simulator", "ShuffledTies", "Event", "AllOf", "AnyOf",
+           "Process", "ReplaySanitizer"]

@@ -1,5 +1,6 @@
 """The simulator: event heap, clock, and deterministic RNG streams."""
 
+import hashlib
 import heapq
 import itertools
 import random
@@ -14,10 +15,11 @@ from repro.sim.sanitizer import CountingRandom, ReplaySanitizer
 class Handle:
     """A scheduled callback; :meth:`cancel` makes it a no-op."""
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "tie", "seq", "fn", "args", "cancelled")
 
-    def __init__(self, time, seq, fn, args):
+    def __init__(self, time, tie, seq, fn, args):
         self.time = time
+        self.tie = tie
         self.seq = seq
         self.fn = fn
         self.args = args
@@ -31,7 +33,47 @@ class Handle:
         self.args = ()
 
     def __lt__(self, other):
-        return (self.time, self.seq) < (other.time, other.seq)
+        return (self.time, self.tie, self.seq) < \
+            (other.time, other.tie, other.seq)
+
+
+class ShuffledTies:
+    """Tie policy that deterministically permutes same-time event order.
+
+    The heap breaks timestamp ties by a *tie key*; the default (FIFO)
+    policy uses the scheduling sequence number itself.  This policy maps
+    each sequence number through a keyed hash, so events that share a
+    timestamp execute in a pseudo-random — but fully reproducible —
+    order decided by ``salt``.  Events at distinct times are unaffected.
+
+    This is the probe of ``repro.analysis.races``: a simulation whose
+    observable behaviour changes under any salt has a *tie-ordering
+    race* — an outcome silently decided by the heap's tie-break.
+    """
+
+    __slots__ = ("salt",)
+
+    def __init__(self, salt=0):
+        self.salt = salt
+
+    def key(self, seq):
+        digest = hashlib.blake2b(f"{self.salt}/{seq}".encode(),
+                                 digest_size=8).digest()
+        return int.from_bytes(digest, "big")
+
+
+def _tie_key_fn(tie_policy):
+    """Resolve the ``Simulator(tie_policy=...)`` knob to a key fn or None."""
+    if tie_policy is None or tie_policy == "fifo":
+        return None
+    if isinstance(tie_policy, int):
+        return ShuffledTies(tie_policy).key
+    key = getattr(tie_policy, "key", None)
+    if callable(key):
+        return key
+    raise SimulationError(
+        f"tie_policy must be None, 'fifo', an int salt, or an object "
+        f"with a key(seq) method; got {tie_policy!r}")
 
 
 class Simulator:
@@ -47,13 +89,22 @@ class Simulator:
     clock monotonicity (raising
     :class:`~repro.errors.DeterminismError` on violation).  The static
     side of the contract is enforced by ``python -m repro.analysis lint``.
+
+    ``tie_policy`` controls how timestamp ties are broken: ``None`` (or
+    ``"fifo"``, the default) runs same-time events in scheduling order;
+    a :class:`ShuffledTies` instance (or an int salt shorthand) permutes
+    them deterministically — the probe used by
+    ``python -m repro.analysis races`` to prove results do not hinge on
+    the tie-break.
     """
 
-    def __init__(self, seed=0, paranoid=False, recorder=None):
+    def __init__(self, seed=0, paranoid=False, recorder=None,
+                 tie_policy=None):
         self.now = 0.0
         self.seed = seed
         self._heap = []
         self._seq = itertools.count()
+        self._tie_key = _tie_key_fn(tie_policy)
         self._rngs = {}
         self._crashes = []
         if not paranoid:
@@ -82,7 +133,9 @@ class Simulator:
         if time < self.now:
             raise SchedulingInPastError(
                 f"schedule at {time} < now {self.now}")
-        handle = Handle(time, next(self._seq), fn, args)
+        seq = next(self._seq)
+        tie = seq if self._tie_key is None else self._tie_key(seq)
+        handle = Handle(time, tie, seq, fn, args)
         heapq.heappush(self._heap, handle)
         return handle
 

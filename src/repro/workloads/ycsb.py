@@ -14,7 +14,7 @@ class YcsbClient:
     """One closed-loop client bound to a strategy."""
 
     def __init__(self, sim, strategy, keydist, recorder, n_ops,
-                 scale_factor=1, think_time_us=1000.0):
+                 scale_factor=1, think_time_us=1000.0, start_delay_us=0.0):
         self.sim = sim
         self.strategy = strategy
         self.keydist = keydist
@@ -22,12 +22,15 @@ class YcsbClient:
         self.n_ops = n_ops
         self.scale_factor = scale_factor
         self.think_time_us = think_time_us
+        self.start_delay_us = start_delay_us
 
     def run(self):
         """Start the client; returns its process event."""
         return self.sim.process(self._loop())
 
     def _loop(self):
+        if self.start_delay_us:
+            yield self.start_delay_us
         for _ in range(self.n_ops):
             keys = {self.keydist.next_key() for _ in range(self.scale_factor)}
             start = self.sim.now
@@ -45,17 +48,22 @@ class YcsbClient:
 
 
 def run_ycsb(sim, make_strategy, keydists, n_clients, n_ops, scale_factor=1,
-             think_time_us=1000.0, name=""):
+             think_time_us=1000.0, name="", stagger_us=0.0):
     """Launch ``n_clients`` clients; returns (recorder, [client processes]).
 
     ``make_strategy(client_index)`` builds the per-client strategy (clients
     may share one strategy instance — they are processes, not threads).
-    ``keydists`` is one key picker per client.
+    ``keydists`` is one key picker per client.  ``stagger_us`` delays
+    client ``i``'s first op by ``i * stagger_us``: real clients never start
+    in lockstep, and synchronized starts make the first round of shared
+    RNG-stream draws (network hop latencies) tie-order-assigned — see
+    ``python -m repro.analysis races``.
     """
     recorder = LatencyRecorder(name)
     processes = []
     for i in range(n_clients):
         client = YcsbClient(sim, make_strategy(i), keydists[i], recorder,
-                            n_ops, scale_factor, think_time_us)
+                            n_ops, scale_factor, think_time_us,
+                            start_delay_us=i * stagger_us)
         processes.append(client.run())
     return recorder, processes

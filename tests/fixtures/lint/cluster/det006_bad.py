@@ -1,0 +1,11 @@
+"""DET006 positive: cluster code draws a faults-owned RNG stream."""
+
+
+def sample_drop(sim):
+    # The faults/ package owns the "faults/net" draw sequence; drawing it
+    # from cluster code interleaves two layers on one stream.
+    return sim.rng("faults/net").random()
+
+
+def sample_storm(sim, node):
+    return sim.rng(f"devices/storm/{node}").random()

@@ -1,0 +1,10 @@
+"""DET006 suppressed: allow comments silence the foreign-stream draws."""
+
+
+def sample_drop(sim):
+    return sim.rng("faults/net").random()  # repro: allow[DET006] fixture
+
+
+def sample_local(sim):
+    # An unowned stream name and a cluster-owned stream are both fine.
+    return sim.rng("gossip").random() + sim.rng("cluster/route").random()

@@ -1,0 +1,13 @@
+"""DET007 positive: schedule times derived from the host process."""
+
+
+def arm(sim, payload):
+    sim.schedule_in(hash(payload) % 97, _noop)
+
+
+def arm_at(sim, obj):
+    sim.schedule_at(sim.now + id(obj) % 13, _noop)
+
+
+def _noop():
+    pass

@@ -1,0 +1,15 @@
+"""DET007 suppressed/negative: sim-derived times never fire."""
+
+
+def arm(sim, delay_us):
+    sim.schedule_in(delay_us, _noop)
+    sim.schedule_at(sim.now + 2 * delay_us, _noop)
+
+
+def arm_hashed(sim, payload):
+    # repro: allow[DET007] fixture: deliberate host-derived jitter
+    sim.schedule_in(hash(payload) % 97, _noop)
+
+
+def _noop():
+    pass

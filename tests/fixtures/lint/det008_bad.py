@@ -1,0 +1,15 @@
+"""DET008 positive: shared mutable callback state."""
+
+
+def record(event, seen=[]):
+    seen.append(event)
+    return seen
+
+
+def tally(event, counts={}):
+    counts[event] = counts.get(event, 0) + 1
+    return counts
+
+
+def arm(sim, pending):
+    sim.schedule_in(5.0, lambda: pending.append(sim.now))

@@ -1,0 +1,20 @@
+"""DET008 suppressed/negative: None defaults and param-only lambdas."""
+
+
+def record(event, seen=None):
+    if seen is None:
+        seen = []
+    seen.append(event)
+    return seen
+
+
+def memo(event, seen=[]):  # repro: allow[DET008] fixture: deliberate memo
+    seen.append(event)
+    return seen
+
+
+def arm(sim, pending):
+    # Mutating a lambda *parameter* is the callee's own state, not shared.
+    sim.schedule_in(5.0, lambda batch: batch.append(1))
+    # repro: allow[DET008] fixture: single-owner accumulator
+    sim.schedule_in(9.0, lambda: pending.append(sim.now))

@@ -1,0 +1,13 @@
+"""DET009 positive: raw-float unit conversions on time values."""
+
+
+def to_ms(deadline):
+    return deadline / 1000
+
+
+def to_us(arrival_time):
+    return arrival_time * 1_000_000
+
+
+def budget(start_ts):
+    return 0.001 * start_ts

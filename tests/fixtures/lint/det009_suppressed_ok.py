@@ -1,0 +1,20 @@
+"""DET009 suppressed/negative: _units constants, or an allow comment."""
+
+from repro._units import MS, SEC
+
+
+def to_ms(deadline):
+    return deadline / MS
+
+
+def horizon(quick):
+    return (8 if quick else 40) * SEC
+
+
+def scaled(n_ops):
+    # A non-time quantity times a round number is not a conversion.
+    return n_ops * 1000
+
+
+def legacy(deadline):
+    return deadline / 1000  # repro: allow[DET009] fixture: legacy API in µs

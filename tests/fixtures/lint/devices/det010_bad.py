@@ -1,0 +1,13 @@
+"""DET010 positive: device code reaches across layers to mutate state."""
+
+
+class Disk:
+    def __init__(self, node):
+        self.node = node
+
+    def complete(self, req):
+        self.node.scheduler.inflight -= 1
+        self.node.os.pending.remove(req)
+
+    def cancel(self, req):
+        self.node.cluster.routing[req.key] = None

@@ -1,0 +1,18 @@
+"""DET010 suppressed/negative: own state, bus events, or an allow."""
+
+
+class Disk:
+    def __init__(self, node, bus):
+        self.node = node
+        self.bus = bus
+        self.inflight = 0
+
+    def complete(self, req):
+        # Mutating the device's *own* state is fine; upward signalling
+        # goes through the bus.
+        self.inflight -= 1
+        self.bus.publish("disk.complete", req=req)
+
+    def cancel(self, req):
+        # repro: allow[DET010] fixture: legacy direct-cancel path
+        self.node.scheduler.inflight -= 1

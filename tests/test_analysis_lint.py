@@ -1,4 +1,4 @@
-"""Fixture-driven tests for the determinism linter (DET001-DET005)."""
+"""Fixture-driven tests for the determinism linter (DET001-DET010)."""
 
 import json
 from pathlib import Path
@@ -18,6 +18,11 @@ POSITIVE = {
     "kernel/det003_bad.py": "DET003",
     "det004_bad.py": "DET004",
     "kernel/det005_bad.py": "DET005",
+    "cluster/det006_bad.py": "DET006",
+    "det007_bad.py": "DET007",
+    "det008_bad.py": "DET008",
+    "det009_bad.py": "DET009",
+    "devices/det010_bad.py": "DET010",
 }
 
 #: fixture file -> rule ID that must NOT fire there.
@@ -28,6 +33,11 @@ NEGATIVE = {
     "det003_nonscheduling_ok.py": "DET003",
     "det004_ok.py": "DET004",
     "sim/core.py": "DET005",
+    "cluster/det006_suppressed_ok.py": "DET006",
+    "det007_suppressed_ok.py": "DET007",
+    "det008_suppressed_ok.py": "DET008",
+    "det009_suppressed_ok.py": "DET009",
+    "devices/det010_suppressed_ok.py": "DET010",
 }
 
 
@@ -66,6 +76,42 @@ def test_suppression_is_rule_specific():
     assert [f.rule for f in findings] == ["DET002"]
 
 
+def test_file_level_suppression_in_first_five_lines():
+    src = ("# repro: allow-file[DET001, DET002] fixture: whole-file allow\n"
+           "import random\n"
+           "import time\n"
+           "x = random.random()\n"
+           "y = time.time()\n"
+           "z = random.random()\n")
+    assert lint_source(src, "foo.py") == []
+
+
+def test_file_level_suppression_is_rule_specific():
+    src = ("# repro: allow-file[DET001] fixture\n"
+           "import random\n"
+           "import time\n"
+           "x = random.random()\n"
+           "y = time.time()\n")
+    assert [f.rule for f in lint_source(src, "foo.py")] == ["DET002"]
+
+
+def test_file_level_suppression_ignored_after_line_five():
+    src = ("import random\n" + "\n" * 5
+           + "# repro: allow-file[DET001] too late to count\n"
+           + "x = random.random()\n")
+    assert [f.rule for f in lint_source(src, "foo.py")] == ["DET001"]
+
+
+def test_det007_flags_wall_clock_schedule_time():
+    src = ("import time\n"
+           "def arm(sim):\n"
+           "    sim.schedule_at(time.time(), arm)\n")
+    # metrics/ is DET002-exempt, but feeding the wall clock into the
+    # event heap is a hazard everywhere.
+    assert {f.rule for f in lint_source(src, "metrics/report.py")} \
+        == {"DET007"}
+
+
 def test_parse_error_reported_as_det000():
     findings = lint_source("def broken(:\n", "bad.py")
     assert [f.rule for f in findings] == ["DET000"]
@@ -93,6 +139,29 @@ def test_json_output_round_trips():
     assert doc["findings"][0]["rule_name"] == "float-time-equality"
 
 
+def test_sarif_output_is_valid_sarif_210():
+    findings = lint_file(FIXTURES / "det009_bad.py")
+    doc = json.loads(render_findings(findings, fmt="sarif"))
+    assert doc["version"] == "2.1.0"
+    run = doc["runs"][0]
+    rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+    assert rule_ids == set(RULES)
+    assert len(run["results"]) == len(findings) > 0
+    result = run["results"][0]
+    assert result["ruleId"] == "DET009"
+    assert result["level"] == "warning"
+    region = result["locations"][0]["physicalLocation"]["region"]
+    assert region["startLine"] == findings[0].line
+    assert region["startColumn"] == findings[0].col + 1
+
+
+def test_sarif_output_empty_findings(capsys):
+    assert analysis_main(["lint", str(FIXTURES / "det001_ok.py"),
+                          "--format", "sarif"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["runs"][0]["results"] == []
+
+
 def test_cli_exit_codes(capsys):
     assert analysis_main(["lint", str(FIXTURES / "det001_ok.py")]) == 0
     assert analysis_main(["lint", str(FIXTURES / "det001_bad.py")]) == 1
@@ -109,6 +178,7 @@ def test_cli_rule_filter(capsys):
 
 
 def test_repo_tree_is_clean():
-    src = Path(__file__).parent.parent / "src" / "repro"
-    findings = lint_paths([src])
+    root = Path(__file__).parent.parent
+    paths = [root / "src" / "repro", root / "benchmarks", root / "examples"]
+    findings = lint_paths([p for p in paths if p.exists()])
     assert findings == [], "\n".join(f.render() for f in findings)

@@ -17,8 +17,8 @@ def test_defuse_suppresses_crash_report(sim):
 
 def test_handle_ordering_is_stable_for_equal_times(sim):
     from repro.sim.core import Handle
-    a = Handle(5.0, 1, None, ())
-    b = Handle(5.0, 2, None, ())
+    a = Handle(5.0, 1, 1, None, ())
+    b = Handle(5.0, 2, 2, None, ())
     assert a < b and not (b < a)
 
 

@@ -92,7 +92,7 @@ def test_heap_tampering_raises_determinism_error():
     sim.schedule(100, lambda: None)
     sim.step()
     # Simulate the DET005 hazard: a foreign heap push into the past.
-    heapq.heappush(sim._heap, Handle(5.0, 999, lambda: None, ()))
+    heapq.heappush(sim._heap, Handle(5.0, 999, 999, lambda: None, ()))
     with pytest.raises(DeterminismError):
         sim.run()
 
