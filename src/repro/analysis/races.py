@@ -34,7 +34,7 @@ import hashlib
 from collections import Counter
 from dataclasses import dataclass, field
 
-from repro.obs.bus import TraceRecorder, canonical_line
+from repro.obs.bus import VOLATILE_FIELDS, TraceRecorder, canonical_line
 from repro.sim import ShuffledTies, Simulator
 
 
@@ -156,9 +156,26 @@ def _run_once(scenario, seed, salt, until=None):
                    ordered=tuple(ordered), rng_draws=sim.rng_draws())
 
 
-def _first_group_mismatch(base, pert):
-    """(time, baseline_only, perturbed_only) of the first divergent group."""
-    for (time_a, recs_a), (time_b, recs_b) in zip(base.groups, pert.groups):
+def group_events(events, volatile=VOLATILE_FIELDS):
+    """Timestamp-group a bus event stream into canonical timeline form:
+    ``((time, tuple(sorted(canonical lines))), ...)`` — the same structure
+    :class:`RaceRun` carries, minus the sanitizer's executed-event entries.
+    Shared with the trace-diff tool (``repro.obs.diff``); pass
+    ``volatile=frozenset()`` to keep the identity counters (exact mode).
+    """
+    groups = {}
+    for event in events:
+        groups.setdefault(event.time, []).append(
+            canonical_line(event, volatile))
+    return tuple((time, tuple(sorted(groups[time])))
+                 for time in sorted(groups))
+
+
+def first_group_mismatch(groups_a, groups_b):
+    """(time, only_in_a, only_in_b) of the first divergent timestamp group
+    between two canonical timelines (as built by :func:`group_events`), or
+    ``None`` when they are identical."""
+    for (time_a, recs_a), (time_b, recs_b) in zip(groups_a, groups_b):
         if time_a != time_b:
             earlier_is_base = time_a < time_b
             return (min(time_a, time_b),
@@ -169,11 +186,10 @@ def _first_group_mismatch(base, pert):
             only_b = Counter(recs_b) - Counter(recs_a)
             return (time_a, tuple(sorted(only_a.elements())),
                     tuple(sorted(only_b.elements())))
-    if len(base.groups) != len(pert.groups):
-        longer = base.groups if len(base.groups) > len(pert.groups) \
-            else pert.groups
-        time, records = longer[min(len(base.groups), len(pert.groups))]
-        if longer is base.groups:
+    if len(groups_a) != len(groups_b):
+        longer = groups_a if len(groups_a) > len(groups_b) else groups_b
+        time, records = longer[min(len(groups_a), len(groups_b))]
+        if longer is groups_a:
             return time, records, ()
         return time, (), records
     return None
@@ -218,7 +234,7 @@ def perturb_ties(scenario, seed=0, perturbations=8, until=None, salts=None,
         report.runs.append(run)
         if run.digest == baseline.digest:
             continue
-        mismatch = _first_group_mismatch(baseline, run)
+        mismatch = first_group_mismatch(baseline.groups, run.groups)
         time, base_only, pert_only = mismatch if mismatch else \
             (float("nan"), (), ())
         race_sites = _first_order_difference(baseline, run)

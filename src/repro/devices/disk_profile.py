@@ -54,9 +54,17 @@ def profile_disk(disk_factory, tries=3, distance_points=24, size_points=6,
     ``disk_factory(sim)`` must build a fresh disk attached to ``sim``; probing
     fresh instances keeps the profiled disk independent of live traffic, like
     the paper's offline profiling.  Returns a :class:`DiskLatencyModel`.
+
+    Profiling is invisible to the caller's request numbering: the probe
+    simulator resets the shared req-id counter, so the caller's watermark
+    is restored afterwards — otherwise a run that triggers (cached, so
+    first-in-process) profiling numbers its requests differently from a
+    warm run, and same-seed trace digests diverge.
     """
+    from repro.devices.request import req_id_watermark, reset_req_ids
     from repro.sim import Simulator
 
+    mark = req_id_watermark()
     sim = Simulator(seed=seed)
     disk = disk_factory(sim)
     capacity = disk.params.capacity_bytes
@@ -90,5 +98,6 @@ def profile_disk(disk_factory, tries=3, distance_points=24, size_points=6,
     design = np.column_stack([np.ones(len(x)), x[:, 0], x[:, 1]])
     coef, *_ = np.linalg.lstsq(design, y, rcond=None)
     base, per_gb, per_kb = coef
+    reset_req_ids(mark)
     return DiskLatencyModel(max(base, 0.0), max(per_gb, 0.0),
                             max(per_kb, 0.0))

@@ -7,21 +7,34 @@ wait/service, used for the diff calibration of §4.1 and the accuracy
 accounting of §7.6), and timestamps for latency attribution.
 """
 
-import itertools
 from enum import Enum, IntEnum
 
-_req_ids = itertools.count()
+_next_req_id = 0
 
 
-def reset_req_ids():
+def _take_req_id():
+    global _next_req_id
+    rid = _next_req_id
+    _next_req_id += 1
+    return rid
+
+
+def reset_req_ids(start=0):
     """Restart request-id numbering (called by ``Simulator.__init__``).
 
     ``req_id`` is pure identity — it never influences scheduling — but it
     appears in trace events, so same-seed runs in one process must number
-    their requests identically for trace digests to match.
+    their requests identically for trace digests to match.  Offline
+    profilers pass ``start=req_id_watermark()`` (captured beforehand) to
+    restore the caller's numbering after their probe runs.
     """
-    global _req_ids
-    _req_ids = itertools.count()
+    global _next_req_id
+    _next_req_id = start
+
+
+def req_id_watermark():
+    """The next id to be issued (pair with ``reset_req_ids(mark)``)."""
+    return _next_req_id
 
 
 class IoOp(Enum):
@@ -55,7 +68,7 @@ class BlockRequest:
             raise ValueError(f"request offset must be >= 0: {offset}")
         if not 0 <= priority <= 7:
             raise ValueError(f"ionice priority out of range: {priority}")
-        self.req_id = next(_req_ids)
+        self.req_id = _take_req_id()
         self.op = op
         self.offset = offset
         self.size = size

@@ -49,9 +49,14 @@ def profile_ssd(ssd_factory, probes_per_point=32, seed=7):
     :class:`SsdLatencyModel` with *measured* read/channel constants plus the
     spec program pattern (tests exercise the write sweep separately to keep
     profiling fast).
+
+    Like ``profile_disk``, restores the caller's req-id watermark so the
+    probe runs never shift the calling process's request numbering.
     """
+    from repro.devices.request import req_id_watermark, reset_req_ids
     from repro.sim import Simulator
 
+    mark = req_id_watermark()
     sim = Simulator(seed=seed)
     ssd = ssd_factory(sim)
     geo = ssd.geometry
@@ -85,6 +90,7 @@ def profile_ssd(ssd_factory, probes_per_point=32, seed=7):
         deltas.append(max(pair) - page_read)
     channel = max(0.0, sum(deltas) / len(deltas))
 
+    reset_req_ids(mark)
     return SsdLatencyModel(page_read, channel,
                            program_pattern(geo.pages_per_block),
                            geo.erase_us)

@@ -1,4 +1,5 @@
-"""CLI: ``python -m repro.experiments <id> [--full] [--seed N] [--trace]``."""
+"""CLI: ``python -m repro.experiments <id> [--full] [--seed N] [--trace]
+[--metrics [PATH]]``."""
 
 import argparse
 import sys
@@ -23,6 +24,11 @@ def main(argv=None):
                         help="record the observability-plane trace: print "
                              "the per-stage latency breakdown and export "
                              "JSONL to PATH (default <id>-trace.jsonl)")
+    parser.add_argument("--metrics", nargs="?", const="", metavar="PATH",
+                        help="fold the trace into a metrics-registry "
+                             "snapshot (counters, gauges, histograms) "
+                             "written as canonical JSON to PATH (default "
+                             "<id>-metrics.json)")
     parser.add_argument("--paranoid", action="store_true",
                         help="run simulators with the replay sanitizer "
                              "armed (trace events feed its hash)")
@@ -42,7 +48,8 @@ def main(argv=None):
         # never enters the simulation.
         start = time.time()
         trace_report = None
-        if args.trace is not None or args.paranoid:
+        if args.trace is not None or args.metrics is not None \
+                or args.paranoid:
             result, trace_report = _run_traced(runner, exp_id, args)
         else:
             result = runner(quick=not args.full, seed=args.seed)
@@ -65,14 +72,15 @@ def main(argv=None):
 def _run_traced(runner, exp_id, args):
     """Run one experiment with ambient tracing installed.
 
-    Returns ``(result, trace_report)`` where the report is the per-stage
-    latency attribution table plus the JSONL export location (None when
-    only ``--paranoid`` was requested).
+    Returns ``(result, trace_report)``: the per-stage latency attribution
+    table plus the JSONL export location when ``--trace`` was given, the
+    metrics-snapshot summary when ``--metrics`` was, both when both
+    (None when only ``--paranoid`` was requested).
     """
-    from repro.metrics.breakdown import LatencyBreakdown
     from repro.obs.bus import TraceRecorder, install_tracing, reset_tracing
 
-    recorder = TraceRecorder() if args.trace is not None else None
+    want_events = args.trace is not None or args.metrics is not None
+    recorder = TraceRecorder() if want_events else None
     install_tracing(recorder, paranoid=args.paranoid)
     try:
         result = runner(quick=not args.full, seed=args.seed)
@@ -80,12 +88,26 @@ def _run_traced(runner, exp_id, args):
         reset_tracing()
     if recorder is None:
         return result, None
-    path = args.trace or f"{exp_id}-trace.jsonl"
-    n = recorder.write_jsonl(path)
-    report = (LatencyBreakdown.from_events(recorder.events).render()
-              + f"\n[trace: {n} events -> {path}  "
-                f"digest {recorder.trace_digest()}]")
-    return result, report
+    parts = []
+    if args.trace is not None:
+        from repro.metrics.breakdown import LatencyBreakdown
+        path = args.trace or f"{exp_id}-trace.jsonl"
+        n = recorder.write_jsonl(path)
+        parts.append(LatencyBreakdown.from_events(recorder.events).render()
+                     + f"\n[trace: {n} events -> {path}  "
+                       f"digest {recorder.trace_digest()}]")
+    if args.metrics is not None:
+        # Post-hoc fold, counters only: experiments run one simulator per
+        # strategy line, so clocks restart and a shared sampling grid
+        # would be meaningless — time series are the accuracy CLI's job.
+        from repro.obs.registry import MetricsRegistry
+        registry = MetricsRegistry().consume(recorder.events)
+        path = args.metrics or f"{exp_id}-metrics.json"
+        with open(path, "w") as fh:
+            fh.write(registry.to_json())
+            fh.write("\n")
+        parts.append(f"[metrics: {registry.summary_line()} -> {path}]")
+    return result, "\n".join(parts)
 
 
 if __name__ == "__main__":

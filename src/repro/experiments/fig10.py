@@ -44,6 +44,29 @@ def _run_line(kind, rate, deadline_us, params, seed):
     return rec
 
 
+def race_scenario(sim):
+    """A scaled-down fig10 slice for the determinism harnesses.
+
+    One false-positive-injection line (every flipped decision forces a
+    failover hop, the figure's worst case) on a caller-supplied
+    simulator, with staggered client starts — synchronized starts would
+    put every client's first RPC in one t=0 tie group and hand the
+    shared network draws out by heap order (see
+    ``faultsweep.race_scenario``).
+    """
+    from repro.workloads import Ec2NoiseModel
+
+    horizon = 2 * SEC
+    fault = FaultInjector(sim.rng("faults"), false_negative_rate=0.0,
+                          false_positive_rate=0.2)
+    env = build_disk_cluster(sim, 6, fault_injector=fault)
+    apply_ec2_noise(env, Ec2NoiseModel("disk"), horizon)
+    strategy = make_strategy("mittos", env.cluster, deadline_us=25 * MS)
+    run_clients(env, strategy, n_clients=4, n_ops=25,
+                think_time_us=2 * MS, name="mittos", limit_us=horizon,
+                stagger_us=17.0)
+
+
 def run(quick=True, seed=7):
     params = dict(n_nodes=20, n_clients=20 if quick else 30,
                   n_ops=400 if quick else 1200,

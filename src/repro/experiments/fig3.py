@@ -13,8 +13,10 @@ driven by the synthetic EC2 noise model and verify the three observations:
 
 from repro._units import GB, KB, MS, SEC
 from repro.engines import KeySpace
-from repro.experiments.common import (ExperimentResult, build_disk_node,
-                                      build_ssd_node)
+from repro.experiments.common import (ExperimentResult, apply_ec2_noise,
+                                      build_disk_cluster, build_disk_node,
+                                      build_ssd_node, make_strategy,
+                                      run_clients)
 from repro.metrics.latency import LatencyRecorder, percentile
 from repro.sim import Simulator
 from repro.workloads import Ec2NoiseModel, NoiseInjector
@@ -91,6 +93,27 @@ def replay_scenario(sim, resource="disk", n_nodes=3, horizon_us=2 * SEC):
     experiment replays bit-identically under ``paranoid=True``.
     """
     _probe_nodes(resource, n_nodes, horizon_us, seed=sim.seed, sim=sim)
+
+
+def accuracy_scenario(sim, n_nodes=5, horizon_us=2 * SEC):
+    """A shadow-mode MittOS slice for the prediction-accuracy observatory.
+
+    :func:`replay_scenario` is golden-pinned and probes with ``mitt=False``
+    — it makes no admission decisions at all — so the accuracy CLI gets
+    its own hook: a small MittCFQ disk cluster in **shadow mode** (§7.6 —
+    verdicts recorded, never enforced, so every would-be-rejected IO
+    still runs and can be graded against its actual wait), EC2 disk
+    noise, and deadline-tagged YCSB clients.  Client starts are staggered
+    like the race scenarios so the slice stays free of t=0 tie races.
+    """
+    from repro.workloads import Ec2NoiseModel
+
+    env = build_disk_cluster(sim, n_nodes, shadow=True)
+    apply_ec2_noise(env, Ec2NoiseModel("disk"), horizon_us)
+    strategy = make_strategy("mittos", env.cluster, deadline_us=20 * MS)
+    run_clients(env, strategy, n_clients=4, n_ops=40,
+                think_time_us=2 * MS, name="mittos", limit_us=horizon_us,
+                stagger_us=17.0)
 
 
 def run(quick=True, seed=7):

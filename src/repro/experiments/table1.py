@@ -33,6 +33,24 @@ def _run_system(profile, tuned, params, seed):
     return rec, strategy
 
 
+def race_scenario(sim):
+    """A scaled-down table1 slice for the determinism harnesses.
+
+    One NoSQL profile (the first, MongoDB-like) in its default
+    no-failover configuration under rotating one-second contention, with
+    staggered client starts to keep t=0 free of symmetric ties (see
+    ``faultsweep.race_scenario``).
+    """
+    horizon = 4 * SEC
+    env = build_disk_cluster(sim, 3, replication=3, mitt=False)
+    rotating_contention(sim, env.injectors, 1 * SEC, horizon)
+    profile = NOSQL_PROFILES[0]
+    strategy = profile.default_strategy(env.cluster)
+    run_clients(env, strategy, n_clients=3, n_ops=30,
+                think_time_us=5 * MS, name=profile.name, limit_us=horizon,
+                stagger_us=17.0)
+
+
 def run(quick=True, seed=7):
     params = dict(n_clients=4, n_ops=300 if quick else 1200,
                   horizon_us=(40 if quick else 120) * SEC)

@@ -50,6 +50,10 @@ class IOScheduler:
         self.sim = sim
         self.device = device
         self.bus = sim.bus
+        #: Device label stamped on recorded lifecycle events so trace
+        #: consumers (accuracy joiner, metrics registry) can attribute a
+        #: request to its device/node without object references.
+        self._dev_label = device.name
         device.add_drain_callback(self._dispatch)
         #: Counters are a bus consumer like any other: the stats object
         #: subscribes to this scheduler's own lifecycle topics.
@@ -89,7 +93,8 @@ class IOScheduler:
         bus = self.bus
         bus.emit(IO_SUBMIT, self, req)
         if bus.recorder.active:
-            bus.record(IO_SUBMIT, request_fields(req))
+            bus.record(IO_SUBMIT,
+                       dict(request_fields(req), dev=self._dev_label))
         self._dispatch()
 
     def cancel(self, req):
@@ -103,7 +108,8 @@ class IOScheduler:
             bus = self.bus
             bus.emit(IO_CANCEL, self, req)
             if bus.recorder.active:
-                bus.record(IO_CANCEL, request_fields(req))
+                bus.record(IO_CANCEL,
+                           dict(request_fields(req), dev=self._dev_label))
             req.finish(self.sim.now)
             return True
         return False
@@ -139,7 +145,8 @@ class IOScheduler:
             bus = self.bus
             bus.emit(IO_DISPATCH, self, req)
             if bus.recorder.active:
-                bus.record(IO_DISPATCH, request_fields(req))
+                bus.record(IO_DISPATCH,
+                           dict(request_fields(req), dev=self._dev_label))
             req.add_callback(self._on_complete)
             self.device.submit(req)
 
@@ -149,4 +156,5 @@ class IOScheduler:
         if bus.recorder.active:
             fields = request_fields(req)
             fields["latency"] = req.latency
+            fields["dev"] = self._dev_label
             bus.record(IO_COMPLETE, fields)

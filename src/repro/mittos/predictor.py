@@ -56,6 +56,9 @@ class Predictor:
         self.os = None
         self.sim = None
         self.bus = None
+        #: Lazily-computed (device, dev_kind, sched) labels stamped on
+        #: recorded verdict events — the accuracy joiner's group key.
+        self._trace_labels = None
         #: Shadow mode: record decisions, enforce nothing (§7.6).
         self.shadow = shadow
         self.fault_injector = fault_injector
@@ -121,6 +124,22 @@ class Predictor:
             self._on_admit(req)
         return Verdict(accept, wait, service)
 
+    def _verdict_labels(self):
+        """(device, dev_kind, sched) identity of the stack this predictor
+        guards — the accuracy joiner's aggregation key.  Computed lazily
+        (stacked predictors get ``os`` assigned outside :meth:`attach`)."""
+        labels = self._trace_labels
+        if labels is None and self.os is not None:
+            os_ = self.os
+            sched = type(os_.scheduler).__name__.lower()
+            if sched.endswith("scheduler"):
+                sched = sched[:-len("scheduler")]
+            labels = {"device": os_.device.name,
+                      "dev_kind": type(os_.device).__name__.lower(),
+                      "sched": sched}
+            self._trace_labels = labels
+        return labels or {}
+
     def _emit_verdict(self, req, accept, probe, deadline, wait, service):
         """Publish the (pre-shadow-enforcement) decision on the bus."""
         bus = self.bus
@@ -136,7 +155,8 @@ class Predictor:
                     deadline=None if deadline is None else float(deadline),
                     predicted_wait=None if wait is None else float(wait),
                     predicted_service=(None if service is None
-                                       else float(service))))
+                                       else float(service)),
+                    **self._verdict_labels()))
         elif self.accuracy is not None:
             # Unattached predictor (unit tests): no bus to consume from.
             self.accuracy.on_verdict(req, accept, probe)

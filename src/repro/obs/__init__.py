@@ -17,22 +17,39 @@ or ambiently (what ``python -m repro.experiments <id> --trace`` does)::
         run_experiment()
     print(LatencyBreakdown.from_events(rec.events).render())
 
+Second-story consumers of the stream (this package too):
+
+* :mod:`repro.obs.accuracy` — prediction-accuracy observatory: joins
+  ``predictor.verdict`` to ``io.complete`` into signed-error CDFs and
+  the accept/reject confusion table (``python -m repro.obs accuracy``);
+* :mod:`repro.obs.registry` — metrics registry: counters, gauges,
+  histograms, utilization/queue-depth time series, byte-stable JSON
+  snapshots (``--metrics`` on the experiments CLI);
+* :mod:`repro.obs.profile` — host wall-clock profiler
+  (``python -m repro.obs profile``);
+* :mod:`repro.obs.diff` — trace diff (``python -m repro.obs diff``).
+
 ``python -m repro.obs summarize trace.jsonl`` renders an exported trace;
 ``python -m repro.obs smoke`` / ``perfguard`` are the CI gates.
 """
 
 from repro.obs import events
-from repro.obs.bus import (NullRecorder, TraceBus, TraceRecorder,
-                           default_paranoid, default_recorder,
-                           install_tracing, read_jsonl, reset_tracing,
-                           tracing)
+from repro.obs.accuracy import AccuracyJoiner, PredictionRecord
+from repro.obs.bus import (NullRecorder, TraceBus, TraceFormatError,
+                           TraceRecorder, default_paranoid,
+                           default_recorder, install_tracing, read_jsonl,
+                           reset_tracing, tracing)
+from repro.obs.diff import TraceDiff, diff_traces
 from repro.obs.events import TraceEvent
+from repro.obs.registry import MeteredRecorder, MetricsRegistry
 from repro.obs.spans import (SPAN_SUM_TOLERANCE_US, check_span_invariant,
                              request_spans, spans_sum)
 
 __all__ = [
     "events", "TraceBus", "TraceEvent", "TraceRecorder", "NullRecorder",
-    "tracing", "install_tracing", "reset_tracing", "default_recorder",
-    "default_paranoid", "read_jsonl", "request_spans", "spans_sum",
-    "check_span_invariant", "SPAN_SUM_TOLERANCE_US",
+    "TraceFormatError", "tracing", "install_tracing", "reset_tracing",
+    "default_recorder", "default_paranoid", "read_jsonl",
+    "AccuracyJoiner", "PredictionRecord", "MetricsRegistry",
+    "MeteredRecorder", "TraceDiff", "diff_traces", "request_spans",
+    "spans_sum", "check_span_invariant", "SPAN_SUM_TOLERANCE_US",
 ]

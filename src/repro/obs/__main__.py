@@ -1,8 +1,28 @@
 """CLI for the observability plane.
 
-``python -m repro.obs summarize <trace.jsonl>``
+``python -m repro.obs summarize <trace.jsonl> [--top N]``
     Reduce an exported trace into the per-stage latency attribution table
-    plus per-topic event counts.
+    plus per-topic event counts (``--top`` bounds the topic table).
+
+``python -m repro.obs accuracy [--scenario ID] [--seed N] [--snapshot P]``
+    The prediction-accuracy observatory: run a scenario with a live
+    metered recorder, join ``predictor.verdict`` against ``io.complete``,
+    and print the per-device signed-error P50/P95/P99 table plus the 2x2
+    accept/reject confusion table (the paper's Fig. 7 methodology).
+    Output derives only from sim-clock events, so two same-seed runs are
+    byte-identical — CI's ``accuracy-smoke`` gate.
+
+``python -m repro.obs profile [--scenario ID] [--out BENCH_profile.json]``
+    Host wall-clock profiler: which callback sites and stages dominate
+    real elapsed time (ROADMAP open item 1).  Writes a machine-readable
+    ``BENCH_profile.json`` and exits nonzero when less than
+    ``--min-attributed`` percent of measured wall-clock lands in named
+    stages.
+
+``python -m repro.obs diff <a.jsonl> <b.jsonl> [--canonical]``
+    Trace diff: first divergent timestamp group + per-topic count deltas
+    between two traces of the same (seed, workload).  Exits 0 when the
+    traces agree, 1 when they diverge or cannot be read.
 
 ``python -m repro.obs smoke``
     CI determinism gate: run the fig3 replay scenario twice with the same
@@ -20,20 +40,124 @@ import argparse
 import sys
 
 from repro.metrics.breakdown import LatencyBreakdown
-from repro.obs.bus import TraceRecorder, read_jsonl
+from repro.obs.bus import TraceFormatError, TraceRecorder, read_jsonl
 
 
-def summarize(path):
-    events = read_jsonl(path)
+def _load_trace(path):
+    """Events of a JSONL trace, or ``None`` after a one-line error."""
+    try:
+        events = read_jsonl(path)
+    except OSError as exc:
+        reason = exc.strerror or str(exc)
+        print(f"error: cannot read trace '{path}': {reason}",
+              file=sys.stderr)
+        return None
+    except TraceFormatError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
+    if not events:
+        print(f"error: trace '{path}' contains no events", file=sys.stderr)
+        return None
+    return events
+
+
+def summarize(path, top=None):
+    events = _load_trace(path)
+    if events is None:
+        return 1
     print(LatencyBreakdown.from_events(events).render())
     counts = {}
     for ev in events:
         counts[ev.topic] = counts.get(ev.topic, 0) + 1
+    shown = sorted(counts)
+    suffix = ""
+    if top is not None and top < len(shown):
+        shown = sorted(counts, key=lambda t: (-counts[t], t))[:top]
+        suffix = f" (top {top} by count)"
     print()
-    print(f"{len(events)} events across {len(counts)} topics:")
-    for topic in sorted(counts):
+    print(f"{len(events)} events across {len(counts)} topics{suffix}:")
+    for topic in shown:
         print(f"  {topic:22s} {counts[topic]}")
     return 0
+
+
+def accuracy(scenario_id="fig3", seed=7, snapshot=None,
+             interval_us=100_000.0, horizon_us=10_000_000.0):
+    """Run a scenario under a metered recorder; grade its predictions."""
+    from repro.experiments.registry import get_accuracy_scenario
+    from repro.obs.accuracy import AccuracyJoiner
+    from repro.obs.registry import MeteredRecorder, MetricsRegistry
+    from repro.sim.core import Simulator
+
+    try:
+        scenario = get_accuracy_scenario(scenario_id)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    registry = MetricsRegistry(sample_interval_us=interval_us)
+    recorder = MeteredRecorder(registry)
+    sim = Simulator(seed=seed, recorder=recorder)
+    # Grid ticks past the scenario's own run limit never execute.
+    registry.arm(sim, horizon_us)
+    scenario(sim)
+    joiner = AccuracyJoiner.from_events(recorder.events)
+    print(f"prediction accuracy: scenario={scenario_id} seed={seed}")
+    print()
+    print(joiner.render())
+    print()
+    print(f"registry: {registry.summary_line()}")
+    if snapshot:
+        with open(snapshot, "w") as fh:
+            fh.write(registry.to_json())
+            fh.write("\n")
+        print(f"[metrics snapshot -> {snapshot}]")
+    return 0
+
+
+def profile(scenario_id="chaos", seed=7, top=15, out="BENCH_profile.json",
+            min_attributed=95.0):
+    """Host wall-clock profile of one scenario; writes ``out`` JSON."""
+    import json
+
+    from repro.experiments.registry import get_scenario
+    from repro.obs.profile import profile_scenario
+
+    try:
+        scenario = get_scenario(scenario_id)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    prof = profile_scenario(scenario, seed=seed)
+    print(f"host profile: scenario={scenario_id} seed={seed}")
+    print()
+    print(prof.render(top=top))
+    payload = prof.to_dict(scenario=scenario_id, seed=seed)
+    with open(out, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"[profile -> {out}]")
+    if payload["attributed_pct"] < min_attributed:
+        print(f"attribution gate: {payload['attributed_pct']:.1f}% < "
+              f"{min_attributed:.1f}% of wall-clock attributed — FAIL",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def diff(path_a, path_b, canonical=False):
+    """Diff two JSONL traces; exit 0 only when they agree."""
+    from repro.obs.diff import diff_traces
+
+    events_a = _load_trace(path_a)
+    if events_a is None:
+        return 1
+    events_b = _load_trace(path_b)
+    if events_b is None:
+        return 1
+    report = diff_traces(events_a, events_b, label_a=path_a, label_b=path_b,
+                         canonical=canonical)
+    print(report.render())
+    return 0 if report.identical else 1
 
 
 def _traced_fig3(seed):
@@ -123,6 +247,41 @@ def main(argv=None):
     p_sum = sub.add_parser("summarize",
                            help="per-stage breakdown of a JSONL trace")
     p_sum.add_argument("trace", help="path to a --trace JSONL export")
+    p_sum.add_argument("--top", type=int, default=None, metavar="N",
+                       help="show only the N most frequent topics")
+    p_acc = sub.add_parser("accuracy",
+                           help="prediction-accuracy observatory: error "
+                                "CDFs + accept/reject confusion table")
+    p_acc.add_argument("--scenario", default="fig3",
+                       help="scenario id (default: fig3)")
+    p_acc.add_argument("--seed", type=int, default=7)
+    p_acc.add_argument("--snapshot", metavar="PATH", default=None,
+                       help="also write the metrics-registry snapshot "
+                            "as canonical JSON to PATH")
+    p_acc.add_argument("--interval-us", type=float, default=100_000.0,
+                       help="utilization/queue-depth sampling interval "
+                            "(sim µs, default 100000)")
+    p_prof = sub.add_parser("profile",
+                            help="host wall-clock profile of a scenario")
+    p_prof.add_argument("--scenario", default="chaos",
+                        help="scenario id (default: chaos)")
+    p_prof.add_argument("--seed", type=int, default=7)
+    p_prof.add_argument("--top", type=int, default=15,
+                        help="callback sites to list (default 15)")
+    p_prof.add_argument("--out", default="BENCH_profile.json",
+                        metavar="PATH",
+                        help="machine-readable profile output path")
+    p_prof.add_argument("--min-attributed", type=float, default=95.0,
+                        metavar="PCT",
+                        help="fail when less than PCT%% of wall-clock is "
+                             "attributed to named stages (default 95)")
+    p_diff = sub.add_parser("diff",
+                            help="first divergence between two traces")
+    p_diff.add_argument("trace_a", help="baseline JSONL trace")
+    p_diff.add_argument("trace_b", help="comparison JSONL trace")
+    p_diff.add_argument("--canonical", action="store_true",
+                        help="tie-insensitive comparison: drop volatile "
+                             "identity counters (req/pid) first")
     p_smoke = sub.add_parser("smoke",
                              help="same-seed trace determinism gate")
     p_smoke.add_argument("--seed", type=int, default=7)
@@ -132,7 +291,17 @@ def main(argv=None):
                         help="overhead budget in percent")
     args = parser.parse_args(argv)
     if args.cmd == "summarize":
-        return summarize(args.trace)
+        return summarize(args.trace, top=args.top)
+    if args.cmd == "accuracy":
+        return accuracy(scenario_id=args.scenario, seed=args.seed,
+                        snapshot=args.snapshot,
+                        interval_us=args.interval_us)
+    if args.cmd == "profile":
+        return profile(scenario_id=args.scenario, seed=args.seed,
+                       top=args.top, out=args.out,
+                       min_attributed=args.min_attributed)
+    if args.cmd == "diff":
+        return diff(args.trace_a, args.trace_b, canonical=args.canonical)
     if args.cmd == "smoke":
         return smoke(seed=args.seed)
     return perfguard(budget_pct=args.budget)

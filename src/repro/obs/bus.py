@@ -184,15 +184,30 @@ class TraceRecorder:
         return len(self.events)
 
 
+class TraceFormatError(Exception):
+    """A JSONL trace file whose lines cannot be parsed back into events
+    (truncated export, wrong file, hand-edited line)."""
+
+
 def read_jsonl(path):
-    """Load a JSONL trace back into :class:`TraceEvent` objects."""
-    import json
+    """Load a JSONL trace back into :class:`TraceEvent` objects.
+
+    Raises :class:`TraceFormatError` naming the offending line on
+    malformed content; ``OSError`` propagates when the file cannot be
+    opened.  Blank lines are skipped (a trailing newline is fine).
+    """
     out = []
     with open(path) as fh:
-        for line in fh:
+        for lineno, line in enumerate(fh, start=1):
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 out.append(TraceEvent.from_dict(json.loads(line)))
+            except (ValueError, KeyError, TypeError) as exc:
+                raise TraceFormatError(
+                    f"{path}:{lineno}: not a trace event line "
+                    f"({exc})") from exc
     return out
 
 

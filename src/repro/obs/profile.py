@@ -1,0 +1,243 @@
+"""Host wall-clock profiler for the simulator event loop.
+
+# repro: allow-file[DET002] measuring host wall-clock is this module's
+# entire purpose; nothing measured here ever feeds back into a simulation.
+
+ROADMAP open item 1 asks *what dominates simulator wall-clock at scale* —
+scheduler-queue work, device service models, network hops, or strategy
+code.  The sim-time span attribution (``repro.metrics.breakdown``) cannot
+answer that: a stage can dominate simulated milliseconds while costing
+almost no host CPU, and vice versa.  :class:`ProfiledSimulator` measures
+the *host* side: it wraps every scheduled callback with a
+``time.perf_counter`` pair at scheduling time and buckets real elapsed
+seconds per callback site (module-qualified name), then rolls sites up
+into named stages by module prefix (:data:`STAGE_PREFIXES`).
+
+Accounting identity — every measured host second lands in exactly one
+named bucket:
+
+* per-site callback time (rolled up into stages),
+* ``event-loop`` — time inside ``run()``/``step()``/``run_until()`` not
+  spent in callbacks (heap pops, cancellation sweeps, dispatch), and
+* ``setup`` — scenario wall-clock outside the event loop (cluster
+  builders, device profiling, trace plumbing),
+
+so attribution is exhaustive by construction and the CI gate
+(``python -m repro.obs profile`` exits nonzero under 95 % attribution)
+guards against unmeasured work creeping in (e.g. a scenario running a
+second, unprofiled simulator for real work).
+
+The wrapper preserves behaviour: the callback runs with the same
+arguments at the same sim time, no RNG is drawn, and nothing is
+scheduled — so a profiled run computes bit-identical results to a plain
+one (asserted in ``tests/test_obs_profile.py``).  Host timings
+themselves are of course not deterministic; ``BENCH_profile.json`` is a
+benchmark artifact, not a golden.
+"""
+
+import time
+
+from repro.sim.core import Simulator
+from repro.sim.sanitizer import callback_qualname
+
+#: Ordered (module prefix, stage) rules; first match wins.  Process
+#: resumption executes client generator frames (strategy waits, engine
+#: coroutines), so ``client-process`` is where strategy-code CPU shows up.
+STAGE_PREFIXES = (
+    ("repro.kernel.", "scheduler-queue"),
+    ("repro.devices.", "device-service"),
+    ("repro.cluster.network", "network-hop"),
+    ("repro.cluster.strategies", "strategy"),
+    ("repro.cluster.", "cluster"),
+    ("repro.mittos.", "predictor"),
+    ("repro.engines.", "engine"),
+    ("repro.workloads.", "workload"),
+    ("repro.faults.", "fault-plane"),
+    ("repro.extensions.", "extensions"),
+    ("repro.obs.", "observability"),
+    ("repro.metrics.", "metrics"),
+    ("repro.sim.process", "client-process"),
+    ("repro.sim.", "sim-core"),
+)
+
+#: Stages that are not callback rollups (see the accounting identity).
+STAGE_EVENT_LOOP = "event-loop"
+STAGE_SETUP = "setup"
+
+
+def stage_of(qualname):
+    """Stage bucket of one callback site (first prefix match wins)."""
+    for prefix, stage in STAGE_PREFIXES:
+        if qualname.startswith(prefix):
+            return stage
+    return "other"
+
+
+class HostProfile:
+    """Accumulated host-side timings of one profiled run."""
+
+    def __init__(self):
+        #: callback site (module-qualified name) -> [calls, seconds].
+        self.sites = {}
+        #: Wall seconds spent inside the event loop (outermost run/step).
+        self.loop_s = 0.0
+        #: Wall seconds of the scenario outside the loop (set by callers
+        #: that timed the whole scenario; see ``finish``).
+        self.setup_s = 0.0
+        #: Total measured scenario wall-clock (set by ``finish``).
+        self.total_s = None
+
+    def observe(self, fn, elapsed_s):
+        site = self.sites.get(callback_qualname(fn))
+        if site is None:
+            self.sites[callback_qualname(fn)] = [1, elapsed_s]
+        else:
+            site[0] += 1
+            site[1] += elapsed_s
+
+    def finish(self, total_s):
+        """Close the accounting against the scenario's total wall-clock."""
+        self.total_s = total_s
+        self.setup_s = max(total_s - self.loop_s, 0.0)
+        return self
+
+    # -- aggregation -------------------------------------------------------
+    @property
+    def callback_s(self):
+        return sum(seconds for _, seconds in self.sites.values())
+
+    @property
+    def events(self):
+        return sum(calls for calls, _ in self.sites.values())
+
+    def by_stage(self):
+        """stage -> host seconds, including the two synthetic buckets."""
+        stages = {}
+        for qualname, (_, seconds) in self.sites.items():
+            stage = stage_of(qualname)
+            stages[stage] = stages.get(stage, 0.0) + seconds
+        stages[STAGE_EVENT_LOOP] = max(self.loop_s - self.callback_s, 0.0)
+        stages[STAGE_SETUP] = self.setup_s
+        return stages
+
+    def top_sites(self, n=15):
+        """The ``n`` most expensive callback sites, by total host time."""
+        ranked = sorted(self.sites.items(),
+                        key=lambda item: (-item[1][1], item[0]))
+        return [(qualname, calls, seconds)
+                for qualname, (calls, seconds) in ranked[:n]]
+
+    def attributed_pct(self):
+        """Share of total wall-clock landing in named stages (percent)."""
+        total = self.total_s if self.total_s else self.loop_s
+        if not total:
+            return 100.0
+        named = sum(self.by_stage().values())
+        return min(100.0 * named / total, 100.0)
+
+    # -- reporting ---------------------------------------------------------
+    def render(self, top=15):
+        from repro.metrics.tables import format_table
+
+        total = self.total_s if self.total_s is not None else self.loop_s
+        lines = [format_table(
+            ["site", "calls", "total_ms", "pct"],
+            [[qualname, calls, round(seconds * 1e3, 2),
+              f"{100.0 * seconds / total:.1f}%" if total else "-"]
+             for qualname, calls, seconds in self.top_sites(top)],
+            title=f"Top callback sites by host wall-clock "
+                  f"(of {total * 1e3:.1f} ms measured)")]
+        stages = self.by_stage()
+        lines.append("")
+        lines.append(format_table(
+            ["stage", "total_ms", "pct"],
+            [[stage, round(seconds * 1e3, 2),
+              f"{100.0 * seconds / total:.1f}%" if total else "-"]
+             for stage, seconds in sorted(stages.items(),
+                                          key=lambda kv: (-kv[1], kv[0]))],
+            title="Host wall-clock by stage"))
+        lines.append("")
+        lines.append(f"{self.events} callbacks, "
+                     f"{len(self.sites)} sites; "
+                     f"attributed {self.attributed_pct():.1f}% "
+                     "of measured wall-clock to named stages")
+        return "\n".join(lines)
+
+    def to_dict(self, scenario=None, seed=None):
+        """Machine-readable form (the ``BENCH_profile.json`` payload)."""
+        return {
+            "scenario": scenario,
+            "seed": seed,
+            "total_s": self.total_s,
+            "loop_s": self.loop_s,
+            "setup_s": self.setup_s,
+            "events": self.events,
+            "attributed_pct": round(self.attributed_pct(), 2),
+            "stages": {stage: round(seconds, 6)
+                       for stage, seconds in sorted(self.by_stage().items())},
+            "top_sites": [
+                {"site": qualname, "calls": calls,
+                 "seconds": round(seconds, 6)}
+                for qualname, calls, seconds in self.top_sites(25)
+            ],
+        }
+
+
+class ProfiledSimulator(Simulator):
+    """A :class:`Simulator` whose callbacks are host-time instrumented.
+
+    Behaviour-neutral: callbacks are wrapped, never altered, and the
+    wrapper touches no simulation state.  The cost is one closure per
+    scheduled event plus two ``perf_counter`` reads per executed one —
+    fine for profiling, which is the only place this class is used.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.profile = HostProfile()
+        self._loop_depth = 0
+
+    def schedule_at(self, at, fn, *args):
+        profile = self.profile
+
+        def timed(*call_args):
+            start = time.perf_counter()
+            try:
+                fn(*call_args)
+            finally:
+                profile.observe(fn, time.perf_counter() - start)
+
+        return super().schedule_at(at, timed, *args)
+
+    def _timed_loop(self, call):
+        self._loop_depth += 1
+        start = time.perf_counter()
+        try:
+            return call()
+        finally:
+            elapsed = time.perf_counter() - start
+            self._loop_depth -= 1
+            if self._loop_depth == 0:
+                self.profile.loop_s += elapsed
+
+    def step(self):
+        return self._timed_loop(lambda: super(ProfiledSimulator, self).step())
+
+    def run(self, until=None):
+        return self._timed_loop(
+            lambda: super(ProfiledSimulator, self).run(until=until))
+
+    def run_until(self, event, limit=None):
+        return self._timed_loop(
+            lambda: super(ProfiledSimulator, self).run_until(event,
+                                                             limit=limit))
+
+
+def profile_scenario(scenario, seed=7, sim=None):
+    """Run ``scenario(sim)`` on a :class:`ProfiledSimulator` and return the
+    closed-out :class:`HostProfile` (``total_s`` includes setup)."""
+    if sim is None:
+        sim = ProfiledSimulator(seed=seed)
+    start = time.perf_counter()
+    scenario(sim)
+    return sim.profile.finish(time.perf_counter() - start)

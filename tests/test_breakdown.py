@@ -41,6 +41,12 @@ def test_rows_are_in_pipeline_order_with_percentiles():
     assert total == (900.0 + 1900.0 + 2900.0) / MS
 
 
+def test_from_events_empty_list():
+    bd = LatencyBreakdown.from_events([])
+    assert bd.events == 0
+    assert "no span events" in bd.render()
+
+
 def test_render_empty_and_populated():
     assert "no span events" in LatencyBreakdown().render()
     bd = LatencyBreakdown()
@@ -79,6 +85,52 @@ def test_experiments_trace_flag(tmp_path, capsys):
     assert "digest" in out
     assert trace_path.exists()
     assert trace_path.read_text().count("\n") > 0
+
+
+def test_obs_summarize_top_bounds_topic_table(tmp_path, capsys):
+    from repro.obs.__main__ import main
+    rec = TraceRecorder()
+    sim = Simulator(seed=3, recorder=rec)
+    for _ in range(3):
+        sim.bus.record(IO_SUBMIT, {"req": 0})
+    sim.bus.record(SPAN_REQUEST, {"total": 10.0,
+                                  "stages": {"device-service": 10.0}})
+    path = tmp_path / "t.jsonl"
+    rec.write_jsonl(path)
+
+    assert main(["summarize", str(path), "--top", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "(top 1 by count)" in out
+    assert "io.submit" in out          # the most frequent topic survives
+    assert "  span.request" not in out  # the other is cut from the table
+
+
+def test_obs_summarize_missing_file_friendly_error(tmp_path, capsys):
+    from repro.obs.__main__ import main
+    assert main(["summarize", str(tmp_path / "absent.jsonl")]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "absent.jsonl" in err
+
+
+def test_obs_summarize_empty_file_friendly_error(tmp_path, capsys):
+    from repro.obs.__main__ import main
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    assert main(["summarize", str(empty)]) == 1
+    assert "contains no events" in capsys.readouterr().err
+
+
+def test_experiments_metrics_flag(tmp_path, capsys):
+    import json
+    from repro.experiments.__main__ import main
+    path = tmp_path / "writes-metrics.json"
+    assert main(["writes", "--seed", "3", "--metrics", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "[metrics:" in out
+    snapshot = json.loads(path.read_text())
+    assert set(snapshot) == {"counters", "gauges", "histograms", "series"}
+    assert any(name.startswith("events.") for name in snapshot["counters"])
 
 
 def test_experiments_paranoid_flag(capsys):

@@ -63,3 +63,21 @@ def test_model_predicts_actual_service_closely():
     sim.process(loop())
     sim.run()
     assert sum(errors) / len(errors) < 0.05
+
+
+def test_profiling_preserves_caller_req_id_numbering():
+    """The profiler's internal probe simulator resets the shared req-id
+    counter; the caller's watermark must be restored so cold-cache runs
+    (first `disk_latency_model()` call in a process) number their
+    requests exactly like warm runs — same-seed trace digests depend on
+    it (see the diff tool / accuracy-smoke gates)."""
+    from repro.devices.request import req_id_watermark
+    from repro.sim import Simulator
+
+    Simulator(seed=3)  # fresh numbering, as at the start of any run
+    first = BlockRequest(IoOp.READ, 0, 4 * KB)
+    assert first.req_id == 0
+    profile_disk(lambda sim: Disk(sim), tries=1, distance_points=2,
+                 size_points=1)
+    assert req_id_watermark() == 1
+    assert BlockRequest(IoOp.READ, 0, 4 * KB).req_id == 1

@@ -106,6 +106,52 @@ def test_trace_event_dict_round_trip():
         (ev.time, ev.topic, ev.fields)
 
 
+def test_jsonl_round_trip_with_every_optional_field(tmp_path):
+    """Events exercising the full field palette survive export/import:
+    None (a probe verdict's deadline), bools, negative ints, floats,
+    strings, and the nested ``stages`` mapping of span events."""
+    from repro.obs.events import RPC_SEND, SPAN_REQUEST, VERDICT
+    rec = TraceRecorder()
+    sim = Simulator(seed=1, recorder=rec)
+    sim.bus.record(VERDICT, {
+        "req": 3, "op": "read", "offset": 4096, "size": 4096, "pid": 101,
+        "predictor": "mittcfq", "accept": True, "probe": False,
+        "shadow": False, "deadline": None, "predicted_wait": 120.5,
+        "predicted_service": 80.0, "device": "n0", "dev_kind": "disk",
+        "sched": "cfq"})
+    sim.bus.record(RPC_SEND, {"src": -1, "dst": 2, "latency": 310.25})
+    sim.bus.record(SPAN_REQUEST, {
+        "req": 3, "total": 1500.0,
+        "stages": {"scheduler-queue": 500.0, "device-service": 1000.0}})
+    path = tmp_path / "full.jsonl"
+    rec.write_jsonl(path)
+    back = read_jsonl(path)
+    assert [(ev.time, ev.topic, ev.fields) for ev in back] == \
+        [(ev.time, ev.topic, ev.fields) for ev in rec.events]
+
+
+def test_read_jsonl_rejects_truncated_line(tmp_path):
+    from repro.obs.bus import TraceFormatError
+    path = tmp_path / "trunc.jsonl"
+    path.write_text('{"t":0.0,"topic":"io.submit","req":1}\n{"t":1.0,"to')
+    with pytest.raises(TraceFormatError, match="trunc.jsonl:2"):
+        read_jsonl(path)
+
+
+def test_read_jsonl_rejects_non_event_json(tmp_path):
+    from repro.obs.bus import TraceFormatError
+    path = tmp_path / "other.jsonl"
+    path.write_text('{"not": "an event"}\n')
+    with pytest.raises(TraceFormatError, match="other.jsonl:1"):
+        read_jsonl(path)
+
+
+def test_read_jsonl_skips_blank_lines(tmp_path):
+    path = tmp_path / "gaps.jsonl"
+    path.write_text('{"t":0.0,"topic":"io.submit","req":1}\n\n')
+    assert len(read_jsonl(path)) == 1
+
+
 # -- ambient tracing defaults -----------------------------------------------
 def test_tracing_context_installs_and_resets():
     rec = TraceRecorder()

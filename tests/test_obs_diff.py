@@ -1,0 +1,117 @@
+"""Tests of the trace-diff tool (obs/diff) and its CLI."""
+
+from repro.obs.bus import TraceRecorder
+from repro.obs.diff import diff_traces
+from repro.obs.events import (IO_COMPLETE, IO_SUBMIT, RPC_SEND, TraceEvent)
+from repro.sim import Simulator
+
+
+def ev(t, topic, **fields):
+    return TraceEvent(t, topic, fields)
+
+
+def sample_events():
+    return [
+        ev(0.0, RPC_SEND, src=-1, dst=0, latency=300.0),
+        ev(0.0, RPC_SEND, src=-1, dst=1, latency=310.0),
+        ev(5.0, IO_SUBMIT, req=1, dev="n0", offset=0, size=4096),
+        ev(9.0, IO_COMPLETE, req=1, device="n0", latency=4.0),
+    ]
+
+
+def test_identical_traces_have_no_divergence():
+    report = diff_traces(sample_events(), sample_events())
+    assert report.identical
+    assert report.topic_deltas == ()
+    assert "no divergence" in report.render()
+
+
+def test_field_change_pinpoints_first_divergent_group():
+    perturbed = sample_events()
+    perturbed[2] = ev(5.0, IO_SUBMIT, req=1, dev="n0", offset=8192,
+                      size=4096)
+    report = diff_traces(sample_events(), perturbed)
+    assert not report.identical
+    time, only_a, only_b = report.divergence
+    assert time == 5.0
+    assert len(only_a) == 1 and "4096" in only_a[0]
+    assert len(only_b) == 1 and "8192" in only_b[0]
+    # Same topics on both sides: counts didn't move.
+    assert report.topic_deltas == ()
+    assert "per-topic counts identical" in report.render()
+
+
+def test_extra_event_shows_in_topic_deltas():
+    longer = sample_events() + [ev(12.0, IO_SUBMIT, req=2, dev="n0",
+                                   offset=0, size=4096)]
+    report = diff_traces(sample_events(), longer)
+    assert not report.identical
+    assert report.divergence[0] == 12.0
+    assert report.topic_deltas == ((IO_SUBMIT, 1, 2),)
+    assert "io.submit" in report.render()
+    assert "(+1)" in report.render()
+
+
+def test_within_tick_reorder_compares_equal():
+    """Events inside one timestamp group are sorted before comparison."""
+    reordered = sample_events()
+    reordered[0], reordered[1] = reordered[1], reordered[0]
+    assert diff_traces(sample_events(), reordered).identical
+
+
+def test_canonical_mode_ignores_req_relabeling():
+    relabeled = [
+        ev(0.0, RPC_SEND, src=-1, dst=0, latency=300.0),
+        ev(0.0, RPC_SEND, src=-1, dst=1, latency=310.0),
+        ev(5.0, IO_SUBMIT, req=7, dev="n0", offset=0, size=4096),
+        ev(9.0, IO_COMPLETE, req=7, device="n0", latency=4.0),
+    ]
+    assert not diff_traces(sample_events(), relabeled).identical
+    assert diff_traces(sample_events(), relabeled, canonical=True).identical
+
+
+# -- CLI ----------------------------------------------------------------------
+def _write_trace(path, events):
+    rec = TraceRecorder()
+    Simulator(seed=1, recorder=rec)
+    rec.events.extend(events)
+    rec.write_jsonl(path)
+    return path
+
+
+def test_diff_cli_identical_exits_zero(tmp_path, capsys):
+    from repro.obs.__main__ import main
+    a = _write_trace(tmp_path / "a.jsonl", sample_events())
+    assert main(["diff", str(a), str(a)]) == 0
+    assert "no divergence" in capsys.readouterr().out
+
+
+def test_diff_cli_divergent_exits_one(tmp_path, capsys):
+    from repro.obs.__main__ import main
+    a = _write_trace(tmp_path / "a.jsonl", sample_events())
+    longer = sample_events() + [ev(12.0, IO_SUBMIT, req=2, dev="n0",
+                                   offset=0, size=4096)]
+    b = _write_trace(tmp_path / "b.jsonl", longer)
+    assert main(["diff", str(a), str(b)]) == 1
+    out = capsys.readouterr().out
+    assert "first divergent group at t=12.0" in out
+
+
+def test_diff_cli_missing_file_friendly_error(tmp_path, capsys):
+    from repro.obs.__main__ import main
+    a = _write_trace(tmp_path / "a.jsonl", sample_events())
+    assert main(["diff", str(a), str(tmp_path / "nope.jsonl")]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "nope.jsonl" in err
+
+
+def test_diff_cli_truncated_file_friendly_error(tmp_path, capsys):
+    from repro.obs.__main__ import main
+    a = _write_trace(tmp_path / "a.jsonl", sample_events())
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text(a.read_text()[:25])  # cut mid-JSON-object
+    assert main(["diff", str(a), str(bad)]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "bad.jsonl:1" in err

@@ -1,0 +1,98 @@
+"""Tests of the host wall-clock profiler (obs/profile)."""
+
+import json
+
+from repro._units import SEC
+from repro.obs.bus import TraceRecorder
+from repro.obs.profile import (STAGE_EVENT_LOOP, STAGE_SETUP, HostProfile,
+                               ProfiledSimulator, profile_scenario,
+                               stage_of)
+from repro.sim import Simulator
+
+
+def tiny_scenario(sim):
+    from repro.experiments.fig3 import replay_scenario
+    replay_scenario(sim, n_nodes=2, horizon_us=0.3 * SEC)
+
+
+# -- behaviour neutrality -----------------------------------------------------
+def test_profiled_simulator_preserves_trace_digest():
+    """Wrapping callbacks must not change what the simulation computes."""
+    def run(cls):
+        rec = TraceRecorder(keep_events=False)
+        sim = cls(seed=11, recorder=rec)
+        tiny_scenario(sim)
+        return rec.trace_digest(), rec.count
+
+    assert run(Simulator) == run(ProfiledSimulator)
+
+
+# -- accounting ---------------------------------------------------------------
+def test_profile_accounts_for_all_wall_clock():
+    prof = profile_scenario(tiny_scenario, seed=11)
+    assert prof.events > 0
+    assert prof.total_s > 0
+    assert prof.attributed_pct() >= 95.0
+    stages = prof.by_stage()
+    assert STAGE_EVENT_LOOP in stages
+    assert STAGE_SETUP in stages
+    # The synthetic buckets close the identity: stages sum to the total.
+    assert abs(sum(stages.values()) - prof.total_s) < 1e-6
+    # The probe loops run as sim processes.
+    assert stages.get("client-process", 0.0) > 0.0
+
+
+def test_stage_prefix_mapping():
+    assert stage_of("repro.kernel.scheduler.CfqScheduler._dispatch") == \
+        "scheduler-queue"
+    assert stage_of("repro.devices.disk.Disk._complete") == "device-service"
+    assert stage_of("repro.sim.process.Process._step") == "client-process"
+    assert stage_of("repro.sim.events.Event.try_succeed") == "sim-core"
+    assert stage_of("somewhere.else.entirely") == "other"
+
+
+def test_top_sites_ranked_by_total_time():
+    prof = HostProfile()
+
+    def cheap():
+        pass
+
+    def costly():
+        pass
+
+    prof.observe(cheap, 0.001)
+    prof.observe(costly, 0.010)
+    prof.observe(cheap, 0.001)
+    ranked = prof.top_sites(2)
+    assert ranked[0][0].endswith("costly")
+    assert ranked[1][1] == 2  # cheap: two calls
+
+
+def test_to_dict_payload_shape():
+    prof = profile_scenario(tiny_scenario, seed=11)
+    payload = prof.to_dict(scenario="tiny", seed=11)
+    assert payload["scenario"] == "tiny"
+    assert payload["events"] == prof.events
+    assert 0.0 <= payload["attributed_pct"] <= 100.0
+    assert set(payload["stages"]) >= {STAGE_EVENT_LOOP, STAGE_SETUP}
+    assert all(set(site) == {"site", "calls", "seconds"}
+               for site in payload["top_sites"])
+
+
+# -- CLI ----------------------------------------------------------------------
+def test_profile_cli_writes_bench_json(tmp_path, capsys):
+    from repro.obs.__main__ import main
+    out = tmp_path / "BENCH_profile.json"
+    assert main(["profile", "--scenario", "fig3", "--out", str(out)]) == 0
+    printed = capsys.readouterr().out
+    assert "Host wall-clock by stage" in printed
+    assert "attributed" in printed
+    payload = json.loads(out.read_text())
+    assert payload["scenario"] == "fig3"
+    assert payload["attributed_pct"] >= 95.0
+
+
+def test_profile_cli_unknown_scenario(capsys):
+    from repro.obs.__main__ import main
+    assert main(["profile", "--scenario", "nope"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err

@@ -29,3 +29,13 @@ def test_min_read_latency_scales_with_pages():
     model = SsdLatencyModel.from_spec(SsdGeometry())
     assert model.min_read_latency(4 * KB) == 100.0
     assert model.min_read_latency(64 * KB) == 400.0
+
+
+def test_ssd_profiling_preserves_caller_req_id_numbering():
+    from repro.devices.request import req_id_watermark
+    from repro.sim import Simulator
+
+    Simulator(seed=3)
+    assert req_id_watermark() == 0
+    profile_ssd(lambda sim: Ssd(sim), probes_per_point=2)
+    assert req_id_watermark() == 0
