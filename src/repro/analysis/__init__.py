@@ -5,10 +5,15 @@ The simulator's contract (``src/repro/sim/core.py``) is that a
 outcome hinges on how the event heap breaks same-timestamp ties.  This
 package enforces that contract from three sides:
 
-* ``python -m repro.analysis lint`` — an AST-based linter that flags
-  determinism hazards (rules ``DET001``-``DET010``) across ``src/repro``,
-  ``benchmarks`` and ``examples``; ``--format sarif`` emits a SARIF
-  2.1.0 log for code-scanning UIs.
+* ``python -m repro.analysis lint`` — an AST-based linter with two
+  layers: per-file hazard rules (``DET001``-``DET010``) and
+  whole-program contract passes (``DET011``-``DET015``: event-schema
+  checking against ``repro.obs.schema`` plus interprocedural effect
+  inference over a project call graph) across ``src/repro``,
+  ``benchmarks`` and ``examples``.  ``--format sarif`` emits a SARIF
+  2.1.0 log for code-scanning UIs; ``--jobs N`` fans the per-file layer
+  out over processes; ``--baseline``/``--write-baseline`` make the gate
+  fail only on findings *new* relative to a committed snapshot.
 * ``python -m repro.analysis races`` — the tie-order perturbation
   harness (:func:`perturb_ties`): re-runs a registered scenario with the
   heap's same-timestamp tie-break deterministically permuted and diffs
@@ -34,11 +39,12 @@ Two forms, both requiring a human-readable reason after the bracket:
   bulk-silence real hazards.
 """
 
-from repro.analysis.linter import Finding, lint_file, lint_paths
+from repro.analysis.linter import (Finding, lint_file, lint_paths,
+                                   lint_paths_program)
 from repro.analysis.races import RaceReport, TieDivergence, perturb_ties
 from repro.analysis.replay import ReplayReport, verify_replay
 from repro.analysis.rules import RULES
 
-__all__ = ["Finding", "lint_file", "lint_paths", "RULES",
-           "RaceReport", "TieDivergence", "perturb_ties",
+__all__ = ["Finding", "lint_file", "lint_paths", "lint_paths_program",
+           "RULES", "RaceReport", "TieDivergence", "perturb_ties",
            "ReplayReport", "verify_replay"]

@@ -1,16 +1,22 @@
 """CLI: ``python -m repro.analysis <lint|races|rules> ...``.
 
-* ``lint [paths...] [--format human|json|sarif]`` — the static linter.
+* ``lint [paths...] [--format human|json|sarif] [--jobs N]
+  [--baseline FILE | --write-baseline FILE]`` — the static linter:
+  per-file rules DET001-DET010 plus the whole-program event-flow and
+  effect passes DET011-DET015.
 * ``races --scenario fig3 --perturbations 8`` — the dynamic tie-order
   perturbation harness over a registered scenario hook.
 * ``rules`` — list rule IDs and what they check.
 """
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
-from repro.analysis.linter import lint_paths, render_findings
+from repro.analysis.linter import (filter_baseline, lint_paths_program,
+                                   load_baseline, render_findings,
+                                   write_baseline)
 from repro.analysis.rules import RULES
 
 #: Default lint targets, relative to the repo root: everything we ship
@@ -36,6 +42,16 @@ def main(argv=None):
     lint.add_argument("--rules", metavar="IDS",
                       help="comma-separated rule IDs to run "
                            "(default: all)")
+    lint.add_argument("--jobs", type=int, default=None, metavar="N",
+                      help="worker processes for the per-file rules "
+                           "(default: cpu count, capped at 8; the "
+                           "whole-program pass always runs in-process)")
+    lint.add_argument("--baseline", metavar="FILE",
+                      help="fail only on findings not recorded in this "
+                           "baseline file (see --write-baseline)")
+    lint.add_argument("--write-baseline", metavar="FILE",
+                      help="record the current findings as the accepted "
+                           "baseline and exit 0")
 
     races = sub.add_parser(
         "races", help="tie-order perturbation harness: re-run a scenario "
@@ -80,8 +96,24 @@ def main(argv=None):
         if not paths:
             parser.error("none of the default lint paths exist here; "
                          "pass explicit paths")
-    findings = lint_paths(paths, rules=rules)
+    jobs = args.jobs if args.jobs is not None \
+        else min(os.cpu_count() or 1, 8)
+    if jobs < 1:
+        parser.error("--jobs must be >= 1")
+    findings, warnings = lint_paths_program(paths, rules=rules, jobs=jobs)
+    if args.write_baseline:
+        count = write_baseline(findings, args.write_baseline)
+        print(f"baseline: recorded {count} finding(s) "
+              f"-> {args.write_baseline}")
+        return 0
+    if args.baseline:
+        if not Path(args.baseline).exists():
+            parser.error(f"no such baseline file: {args.baseline}")
+        findings = filter_baseline(findings, load_baseline(args.baseline))
     print(render_findings(findings, fmt=args.format))
+    if args.format == "human":
+        for warning in warnings:
+            print(f"warning: {warning}", file=sys.stderr)
     if any(f.rule == "DET000" for f in findings):
         return 2
     return 1 if findings else 0

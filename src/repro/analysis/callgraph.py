@@ -1,0 +1,205 @@
+"""Module-level call graph over the linted program.
+
+The interprocedural rules (``repro.analysis.effects``, DET014/DET015)
+need to know *who calls whom* across the whole linted file set.  This
+module builds that graph syntactically — no imports are executed:
+
+* every module-level ``def`` and every class method becomes a
+  :class:`FunctionInfo` node, keyed by ``(file path, qualified name)``;
+* a call is resolved when its callee is statically nameable: a bare
+  ``Name`` call to a module-level function of the same file or to a
+  function imported from another file *in the program*
+  (``from repro.x import f``), a ``self.method()`` call to a method of
+  the enclosing class, or a ``module.f()`` call through an imported
+  project module.
+
+Calls through arbitrary objects (``self.scheduler.submit(...)``) are
+deliberately *not* resolved: cross-object dispatch is the bus/layer
+boundary the per-file rules police, and chasing it would need type
+inference.  The effect rules therefore see exactly the helper-call
+chains a reader of one module can see — which is the blind spot they
+exist to close.
+"""
+
+import ast
+from dataclasses import dataclass, field
+
+#: Import roots considered part of the program (resolvable cross-file).
+PROJECT_ROOTS = ("repro",)
+
+
+def module_name_of(path_parts):
+    """Dotted module name of a program file, e.g. ``repro.obs.bus``.
+
+    Files outside a recognized package root (benchmarks, examples,
+    fixtures) get a name derived from their path; they can still be
+    *callers*, but nothing resolves an import to them.
+    """
+    parts = list(path_parts)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    for root in PROJECT_ROOTS:
+        if root in parts:
+            parts = parts[parts.index(root):]
+            break
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method in the program."""
+
+    key: tuple               # (path string, qualified name)
+    path: str
+    path_parts: tuple
+    qualname: str            # "f" or "Class.f"
+    node: object             # the ast.FunctionDef
+    #: Resolved callee keys, in call-site order (used for propagation).
+    callees: list = field(default_factory=list)
+
+
+@dataclass
+class CallSite:
+    """One resolved call: ``caller`` invokes ``callee`` at ``node``."""
+
+    caller: tuple
+    callee: tuple
+    node: object             # the ast.Call
+
+
+class _FileIndex:
+    """Per-file name tables: functions, classes, project imports."""
+
+    def __init__(self, path, tree):
+        self.path = str(path)
+        #: module-level function name -> key
+        self.functions = {}
+        #: class name -> {method name -> key}
+        self.classes = {}
+        #: local alias -> dotted project module name (import repro.x.y as m,
+        #: from repro.x import y where y is a module)
+        self.module_aliases = {}
+        #: local alias -> (dotted module, attr) for from-imports
+        self.from_imports = {}
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.functions[node.name] = (self.path, node.name)
+            elif isinstance(node, ast.ClassDef):
+                methods = {}
+                for sub in node.body:
+                    if isinstance(sub, (ast.FunctionDef,
+                                        ast.AsyncFunctionDef)):
+                        methods[sub.name] = \
+                            (self.path, f"{node.name}.{sub.name}")
+                self.classes[node.name] = methods
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] in PROJECT_ROOTS:
+                        bound = alias.asname or alias.name.split(".")[0]
+                        if alias.asname:
+                            self.module_aliases[bound] = alias.name
+                        # Un-aliased `import repro.x.y` binds `repro`;
+                        # chains through it are rare — skip.
+            elif isinstance(node, ast.ImportFrom) and node.module and \
+                    node.module.split(".")[0] in PROJECT_ROOTS:
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    self.from_imports[bound] = (node.module, alias.name)
+
+
+class ProgramGraph:
+    """Functions + resolved call edges of one linted program."""
+
+    def __init__(self):
+        self.functions = {}      # key -> FunctionInfo
+        self.call_sites = []     # [CallSite]
+        self._indexes = {}       # path string -> _FileIndex
+        self._by_module = {}     # dotted module name -> _FileIndex
+
+    @classmethod
+    def build(cls, files):
+        """Build from ``[(path, path_parts, tree), ...]``."""
+        graph = cls()
+        for path, path_parts, tree in files:
+            index = _FileIndex(path, tree)
+            graph._indexes[str(path)] = index
+            graph._by_module[module_name_of(path_parts)] = index
+        for path, path_parts, tree in files:
+            graph._collect_functions(str(path), tuple(path_parts), tree)
+        for path, path_parts, tree in files:
+            graph._resolve_calls(str(path), tree)
+        return graph
+
+    def _collect_functions(self, path, path_parts, tree):
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                key = (path, node.name)
+                self.functions[key] = FunctionInfo(
+                    key, path, path_parts, node.name, node)
+            elif isinstance(node, ast.ClassDef):
+                for sub in node.body:
+                    if isinstance(sub, (ast.FunctionDef,
+                                        ast.AsyncFunctionDef)):
+                        key = (path, f"{node.name}.{sub.name}")
+                        self.functions[key] = FunctionInfo(
+                            key, path, path_parts,
+                            f"{node.name}.{sub.name}", sub)
+
+    # -- resolution --------------------------------------------------------
+    def _resolve_target(self, index, call, class_name):
+        """Key of the statically-nameable callee of ``call``, or None."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name in index.functions:
+                return index.functions[name]
+            target = index.from_imports.get(name)
+            if target is not None:
+                module, attr = target
+                other = self._by_module.get(module)
+                if other is not None and attr in other.functions:
+                    return other.functions[attr]
+            return None
+        if isinstance(func, ast.Attribute) and \
+                isinstance(func.value, ast.Name):
+            owner, attr = func.value.id, func.attr
+            if owner in ("self", "cls") and class_name is not None:
+                methods = index.classes.get(class_name, {})
+                return methods.get(attr)
+            # module.f() through an imported project module
+            module = index.module_aliases.get(owner)
+            if module is None and owner in index.from_imports:
+                base, leaf = index.from_imports[owner]
+                module = f"{base}.{leaf}"
+            if module is not None:
+                other = self._by_module.get(module)
+                if other is not None and attr in other.functions:
+                    return other.functions[attr]
+        return None
+
+    def _resolve_calls(self, path, tree):
+        index = self._indexes[path]
+
+        def walk_function(fn_node, key, class_name):
+            info = self.functions[key]
+            for node in ast.walk(fn_node):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = self._resolve_target(index, node, class_name)
+                if callee is not None and callee in self.functions:
+                    info.callees.append(callee)
+                    self.call_sites.append(CallSite(key, callee, node))
+
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                walk_function(node, (path, node.name), None)
+            elif isinstance(node, ast.ClassDef):
+                for sub in node.body:
+                    if isinstance(sub, (ast.FunctionDef,
+                                        ast.AsyncFunctionDef)):
+                        walk_function(
+                            sub, (path, f"{node.name}.{sub.name}"),
+                            node.name)

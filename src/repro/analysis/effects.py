@@ -1,0 +1,271 @@
+"""Interprocedural effect inference: DET014-DET015.
+
+The per-file rules (``repro.analysis.rules``) see one frame at a time, so
+a helper function can launder an effect past them: a wrapper that draws a
+foreign RNG stream, or a loop over a set whose *body* reaches the event
+heap three calls down.  This pass closes that blind spot.  For every
+function in the :class:`~repro.analysis.callgraph.ProgramGraph` it infers
+a direct :class:`EffectSet` —
+
+* ``wall_clock``   — reads the host clock (``time.time()``-likes),
+* ``rng_streams``  — the named ``.rng("pkg/...")`` streams it draws,
+* ``schedules``    — puts a callback on the event heap
+  (``schedule``/``schedule_at``/``schedule_in``/``timeout``),
+* ``mutates_layers`` — assigns through a ``scheduler``/``cluster``/``os``
+  attribute chain,
+* ``unordered_iter`` — iterates a set without ``sorted()``
+
+— then propagates effects along resolved call edges and checks:
+
+``DET014``
+    a call, *within one owner package*, to a helper that (transitively)
+    draws an RNG stream owned by a package the **caller** is not part of.
+    The direct draw is DET006's business; DET014 fires at every call site
+    that reaches it through helper frames — including sites that would
+    look innocent once the draw itself carries an ``allow[DET006]``.
+    Stream effects deliberately do not propagate across packages: a
+    cross-package call is an API boundary, and the callee's streams are
+    its own accounting.
+
+``DET015``
+    a ``for`` loop over a set (or unambiguous set variable) whose body
+    reaches the event heap — directly, or through any chain of resolved
+    calls (``schedules`` propagates across the whole graph).  DET003
+    already flags unordered iteration inside scheduling directories;
+    DET015 is the interprocedural complement for everywhere else, where
+    the iteration *looks* harmless but a helper schedules from inside it.
+"""
+
+import ast
+
+from repro.analysis.rules import (RNG_OWNER_PACKAGES, SCHEDULE_METHODS,
+                                  UPPER_LAYER_SEGMENTS, ModuleContext,
+                                  _collect_set_names, _is_setish,
+                                  _stream_literal, _wallclock_call,
+                                  dotted_name)
+
+#: Iterables whose call wrappers make a loop order-free / explicitly
+#: ordered (mirrors DET003's skip list).
+_ORDER_FIXERS = frozenset({"sorted", "enumerate", "len", "sum", "min",
+                           "max"})
+
+
+class EffectSet:
+    """Direct + (after propagation) transitive effects of one function."""
+
+    __slots__ = ("wall_clock", "rng_streams", "schedules", "mutates_layers",
+                 "unordered_iter")
+
+    def __init__(self):
+        self.wall_clock = False
+        self.rng_streams = set()
+        self.schedules = False
+        self.mutates_layers = False
+        self.unordered_iter = False
+
+    def to_dict(self):
+        return {
+            "wall_clock": self.wall_clock,
+            "rng_streams": sorted(self.rng_streams),
+            "schedules": self.schedules,
+            "mutates_layers": self.mutates_layers,
+            "unordered_iter": self.unordered_iter,
+        }
+
+
+def _direct_effects(info, ctx, set_names, set_attrs):
+    """Infer the single-frame effects of one function body."""
+    effects = EffectSet()
+    for node in ast.walk(info.node):
+        if isinstance(node, ast.Call):
+            if _wallclock_call(node, ctx):
+                effects.wall_clock = True
+            if isinstance(node.func, ast.Attribute):
+                attr = node.func.attr
+                if attr == "rng" and node.args:
+                    stream = _stream_literal(node.args[0])
+                    if stream and "/" in stream:
+                        effects.rng_streams.add(stream)
+                elif attr in SCHEDULE_METHODS:
+                    effects.schedules = True
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) \
+                else [node.target]
+            for target in targets:
+                chain = dotted_name(target)
+                if chain and any(seg in UPPER_LAYER_SEGMENTS
+                                 for seg in chain[1:-1]):
+                    effects.mutates_layers = True
+        elif isinstance(node, ast.For):
+            expr = node.iter
+            if _is_setish(expr) \
+                    or (isinstance(expr, ast.Name)
+                        and expr.id in set_names) \
+                    or (isinstance(expr, ast.Attribute)
+                        and isinstance(expr.value, ast.Name)
+                        and expr.value.id == "self"
+                        and expr.attr in set_attrs):
+                effects.unordered_iter = True
+    return effects
+
+
+def _package_of(path_parts):
+    """The owner packages a file belongs to (usually zero or one)."""
+    return frozenset(path_parts) & RNG_OWNER_PACKAGES
+
+
+class EffectAnalysis:
+    """Per-function effect sets over a whole :class:`ProgramGraph`."""
+
+    def __init__(self, graph, contexts, trees):
+        self.graph = graph
+        self._contexts = contexts        # path string -> ModuleContext
+        #: key -> direct EffectSet (single frame only).
+        self.direct = {}
+        #: key -> transitive rng stream set (same-package closure).
+        self.streams = {}
+        #: key -> transitive "reaches the event heap" flag (full closure).
+        self.schedules = {}
+        #: path string -> (set variable names, set self-attrs) of the module.
+        self.set_tables = {path: _collect_set_names(tree)
+                           for path, tree in trees.items()}
+        for key, info in graph.functions.items():
+            names, attrs = self.set_tables[info.path]
+            self.direct[key] = _direct_effects(
+                info, contexts[info.path], names, attrs)
+        self._propagate()
+
+    @classmethod
+    def build(cls, files):
+        """Build graph + analysis from ``[(path, path_parts, tree), ...]``."""
+        from repro.analysis.callgraph import ProgramGraph
+        graph = ProgramGraph.build(files)
+        contexts = {str(path): ModuleContext(tuple(parts), tree)
+                    for path, parts, tree in files}
+        trees = {str(path): tree for path, _, tree in files}
+        return cls(graph, contexts, trees)
+
+    def _propagate(self):
+        """Fixpoint over call edges: streams stay within one owner
+        package; the heap-reaching flag crosses every resolved edge."""
+        functions = self.graph.functions
+        packages = {key: _package_of(info.path_parts)
+                    for key, info in functions.items()}
+        self.streams = {key: set(self.direct[key].rng_streams)
+                        for key in functions}
+        self.schedules = {key: self.direct[key].schedules
+                          for key in functions}
+        changed = True
+        while changed:
+            changed = False
+            for key, info in functions.items():
+                for callee in info.callees:
+                    if not self.schedules[key] and self.schedules[callee]:
+                        self.schedules[key] = True
+                        changed = True
+                    if packages[key] == packages[callee]:
+                        missing = self.streams[callee] - self.streams[key]
+                        if missing:
+                            self.streams[key].update(missing)
+                            changed = True
+
+    # -- queries used by the rules and reports -----------------------------
+    def transitive_streams(self, key):
+        return self.streams.get(key, set())
+
+    def reaches_heap(self, key):
+        return self.schedules.get(key, False)
+
+
+# -- DET014: foreign RNG stream reached through helper frames ----------------
+
+def check_det014(analysis):
+    """Findings as ``(rule, path, line, col, message)`` tuples."""
+    graph = analysis.graph
+    packages = {key: _package_of(info.path_parts)
+                for key, info in graph.functions.items()}
+    findings = []
+    seen = set()
+    for site in graph.call_sites:
+        caller = graph.functions[site.caller]
+        if packages[site.caller] != packages[site.callee]:
+            continue  # cross-package call: an API boundary, not a helper
+        caller_parts = set(caller.path_parts)
+        for stream in sorted(analysis.transitive_streams(site.callee)):
+            owner = stream.split("/", 1)[0]
+            if owner not in RNG_OWNER_PACKAGES or owner in caller_parts:
+                continue
+            dedup = (caller.path, site.node.lineno, site.node.col_offset,
+                     stream)
+            if dedup in seen:
+                continue
+            seen.add(dedup)
+            callee = graph.functions[site.callee]
+            findings.append((
+                "DET014", caller.path, site.node.lineno,
+                site.node.col_offset,
+                f"call to {callee.qualname}() reaches rng stream "
+                f"'{stream}' (owned by {owner}/) through helper frames — "
+                "every caller advances a foreign stream's draw sequence; "
+                "draw from a stream named after this package, or pass "
+                "values in instead of the generator"))
+    return findings
+
+
+# -- DET015: unordered iteration reaching the event heap ---------------------
+
+def check_det015(analysis):
+    """Findings as ``(rule, path, line, col, message)`` tuples."""
+    graph = analysis.graph
+    findings = []
+    sites_by_caller = {}
+    for site in graph.call_sites:
+        sites_by_caller.setdefault(site.caller, {})[id(site.node)] = \
+            site.callee
+    for key, info in graph.functions.items():
+        resolved = sites_by_caller.get(key, {})
+        names, attrs = analysis.set_tables[info.path]
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.For):
+                continue
+            expr = node.iter
+            if isinstance(expr, ast.Call) and \
+                    isinstance(expr.func, ast.Name) and \
+                    expr.func.id in _ORDER_FIXERS:
+                continue
+            label = None
+            if _is_setish(expr):
+                label = "a set expression"
+            elif isinstance(expr, ast.Name) and expr.id in names:
+                label = f"set '{expr.id}'"
+            elif isinstance(expr, ast.Attribute) and \
+                    isinstance(expr.value, ast.Name) and \
+                    expr.value.id == "self" and expr.attr in attrs:
+                label = f"set 'self.{expr.attr}'"
+            if label is None:
+                continue
+            culprit = _heap_reacher(node, resolved, analysis, graph)
+            if culprit is not None:
+                findings.append((
+                    "DET015", info.path, expr.lineno, expr.col_offset,
+                    f"iterating {label} whose body reaches the event heap "
+                    f"via {culprit} — hash order decides the schedule "
+                    "order; wrap the iterable in sorted()"))
+    return findings
+
+
+def _heap_reacher(loop, resolved, analysis, graph):
+    """How ``loop``'s body reaches the heap, or None: a direct
+    ``.schedule*()`` call, or a resolved call to a transitively
+    scheduling helper."""
+    for stmt in loop.body + loop.orelse:
+        for node in ast.walk(stmt):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Attribute) and \
+                    node.func.attr in SCHEDULE_METHODS:
+                return f".{node.func.attr}()"
+            callee = resolved.get(id(node))
+            if callee is not None and analysis.reaches_heap(callee):
+                return f"{graph.functions[callee].qualname}()"
+    return None

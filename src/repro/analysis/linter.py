@@ -1,4 +1,20 @@
-"""File walking, suppression handling, and finding aggregation."""
+"""File walking, suppression handling, and finding aggregation.
+
+Two layers of rules run over every lint invocation:
+
+* **per-file** rules (``DET001``-``DET010``) — one AST checker per file,
+  embarrassingly parallel (``jobs=N`` fans them out across processes);
+* **whole-program** rules (``DET011``-``DET015``) — the event-flow
+  contract pass (:mod:`repro.analysis.eventflow`) and the
+  interprocedural effect pass (:mod:`repro.analysis.effects`), which
+  need every file's AST at once and always run in the parent process.
+
+Both layers share the suppression grammar (``# repro: allow[DET00X]``
+line pragmas, ``# repro: allow-file[...]`` in the first five lines) and
+the output formats.  :func:`lint_source` treats its single file as a
+one-file program, so fixtures exercise the whole-program rules through
+the same API as everything else.
+"""
 
 import ast
 import json
@@ -7,6 +23,11 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 
 from repro.analysis.rules import CHECKERS, RULES, ModuleContext
+
+#: Rules that need the whole file set (no per-file checker in CHECKERS).
+PROGRAM_RULES = frozenset({
+    "DET011", "DET012", "DET013", "DET014", "DET015",
+})
 
 #: ``# repro: allow[DET001]`` or ``# repro: allow[DET001,DET003] reason``.
 _ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Z0-9,\s]+)\]")
@@ -78,28 +99,106 @@ def _file_suppressions(source):
     return allowed
 
 
-def lint_source(source, path, rules=None):
-    """Lint one source string as if it lived at ``path``."""
-    path = Path(path)
-    try:
-        tree = ast.parse(source)
-    except SyntaxError as err:
-        return [Finding("DET000", str(path), err.lineno or 1, 0,
-                        f"could not parse: {err.msg}")]
-    ctx = ModuleContext(path.parts, tree)
-    allowed = _suppressions(source)
-    file_allowed = _file_suppressions(source)
+class ProgramFile:
+    """One loaded + parsed file of the linted program."""
+
+    __slots__ = ("path", "path_parts", "source", "tree", "error",
+                 "allowed", "file_allowed")
+
+    def __init__(self, source, path):
+        path = Path(path)
+        self.path = str(path)
+        self.path_parts = path.parts
+        self.source = source
+        self.allowed = _suppressions(source)
+        self.file_allowed = _file_suppressions(source)
+        try:
+            self.tree = ast.parse(source)
+            self.error = None
+        except SyntaxError as err:
+            self.tree = None
+            self.error = Finding("DET000", self.path, err.lineno or 1, 0,
+                                 f"could not parse: {err.msg}")
+
+    @classmethod
+    def load(cls, path):
+        return cls(Path(path).read_text(encoding="utf-8"), path)
+
+
+def _filter(pf, raw, rules):
+    """Apply the rule selection + suppressions of one file to raw
+    ``(rule, line, col, message)`` tuples."""
     findings = []
+    for rule_id, line, col, message in raw:
+        if rules is not None and rule_id not in rules:
+            continue
+        if rule_id in pf.file_allowed:
+            continue
+        if rule_id in pf.allowed.get(line, ()):
+            continue
+        findings.append(Finding(rule_id, pf.path, line, col, message))
+    return findings
+
+
+def _per_file_findings(pf, rules=None):
+    """DET000-DET010 over one file (suppressions applied)."""
+    if pf.error is not None:
+        return [pf.error]
+    ctx = ModuleContext(pf.path_parts, pf.tree)
+    raw = []
     for rule_id, checker in CHECKERS.items():
         if rules is not None and rule_id not in rules:
             continue
-        if rule_id in file_allowed:
-            continue
-        for _, line, col, message in checker(tree, ctx):
-            if rule_id in allowed.get(line, ()):
-                continue
-            findings.append(Finding(rule_id, str(path), line, col, message))
+        raw.extend(checker(pf.tree, ctx))
+    return _filter(pf, raw, rules)
+
+
+def _program_findings(program, rules=None):
+    """DET011-DET015 over the whole file set; returns
+    ``(findings, warnings)``.  Imported lazily so the per-file half has
+    no dependency on ``repro.obs``."""
+    want = PROGRAM_RULES if rules is None else set(rules) & PROGRAM_RULES
+    if not want:
+        return [], []
+    parsed = [(pf.path, pf.path_parts, pf.tree)
+              for pf in program if pf.tree is not None]
+    by_path = {pf.path: pf for pf in program}
+    raw, warnings = [], []
+    if want & {"DET011", "DET012", "DET013"}:
+        from repro.analysis.eventflow import analyze_eventflow
+        flow, warnings = analyze_eventflow(parsed)
+        raw.extend(flow)
+    if want & {"DET014", "DET015"}:
+        from repro.analysis.effects import (EffectAnalysis, check_det014,
+                                            check_det015)
+        analysis = EffectAnalysis.build(parsed)
+        if "DET014" in want:
+            raw.extend(check_det014(analysis))
+        if "DET015" in want:
+            raw.extend(check_det015(analysis))
+    findings = []
+    for rule_id, path, line, col, message in raw:
+        pf = by_path[path]
+        findings.extend(_filter(pf, [(rule_id, line, col, message)], rules))
+    return findings, warnings
+
+
+def lint_program(program, rules=None):
+    """Both rule layers over loaded :class:`ProgramFile`\\ s; returns
+    ``(findings, warnings)`` with findings in deterministic order."""
+    findings = []
+    for pf in program:
+        findings.extend(_per_file_findings(pf, rules=rules))
+    program_findings, warnings = _program_findings(program, rules=rules)
+    findings.extend(program_findings)
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings, warnings
+
+
+def lint_source(source, path, rules=None):
+    """Lint one source string as if it lived at ``path`` (treated as a
+    one-file program, so the whole-program rules run too)."""
+    findings, _ = lint_program([ProgramFile(source, path)], rules=rules)
     return findings
 
 
@@ -121,13 +220,83 @@ def iter_python_files(paths):
                 yield candidate
 
 
+def _parallel_worker(args):
+    """Per-file stage of one worker process (module-level: picklable)."""
+    path, rules = args
+    return _per_file_findings(ProgramFile.load(path),
+                              rules=set(rules) if rules else None)
+
+
+def lint_paths_program(paths, rules=None, jobs=1):
+    """Lint every ``.py`` file under ``paths``; returns
+    ``(findings, warnings)``.
+
+    ``jobs > 1`` fans the per-file rules out over a process pool; the
+    whole-program rules always run in the parent (they need every AST at
+    once).  Output is deterministic regardless of ``jobs``.
+    """
+    files = list(iter_python_files(paths))
+    if jobs and jobs > 1 and len(files) > 1:
+        import multiprocessing
+        with multiprocessing.Pool(min(jobs, len(files))) as pool:
+            per_file = pool.map(
+                _parallel_worker,
+                [(str(p), sorted(rules) if rules else None)
+                 for p in files])
+        findings = [f for batch in per_file for f in batch]
+        program = [ProgramFile.load(p) for p in files]
+        program_findings, warnings = _program_findings(program, rules=rules)
+        findings.extend(program_findings)
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return findings, warnings
+    return lint_program([ProgramFile.load(p) for p in files], rules=rules)
+
+
 def lint_paths(paths, rules=None):
     """Lint every ``.py`` file under the given files/directories."""
-    findings = []
-    for path in iter_python_files(paths):
-        findings.extend(lint_file(path, rules=rules))
-    return findings
+    return lint_paths_program(paths, rules=rules)[0]
 
+
+# -- baselines ---------------------------------------------------------------
+
+def baseline_key(finding):
+    """Location-insensitive identity of a finding: line numbers drift on
+    every edit, so baselines key on (rule, path, message) with counts."""
+    return f"{finding.rule}|{finding.path}|{finding.message}"
+
+
+def write_baseline(findings, path):
+    """Record the current findings as the accepted baseline."""
+    counts = {}
+    for finding in findings:
+        key = baseline_key(finding)
+        counts[key] = counts.get(key, 0) + 1
+    Path(path).write_text(json.dumps(
+        {"version": 1, "findings": dict(sorted(counts.items()))},
+        indent=2) + "\n", encoding="utf-8")
+    return len(findings)
+
+
+def load_baseline(path):
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    return dict(data.get("findings", {}))
+
+
+def filter_baseline(findings, baseline):
+    """Drop findings covered by the baseline (each key has a budget of
+    ``count`` occurrences); what remains is *new* since it was written."""
+    budget = dict(baseline)
+    fresh = []
+    for finding in findings:
+        key = baseline_key(finding)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+        else:
+            fresh.append(finding)
+    return fresh
+
+
+# -- rendering ---------------------------------------------------------------
 
 def _sarif(findings):
     """A SARIF 2.1.0 log: one run, the full rule catalogue in the driver,

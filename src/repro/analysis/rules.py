@@ -128,6 +128,25 @@ RULES = {r.id: r for r in [
          "raw-float time unit conversion bypassing _units.py"),
     Rule("DET010", "cross-layer-mutation",
          "device code writing scheduler/cluster state directly"),
+    # Whole-program rules (repro.analysis.eventflow / .effects): these
+    # have no per-file checker in CHECKERS below — the linter runs them
+    # over the full file set and routes the findings through the same
+    # suppression / output machinery.
+    Rule("DET011", "unknown-topic",
+         "record/emit/subscribe with a topic not declared in "
+         "repro.obs.schema"),
+    Rule("DET012", "payload-contract",
+         "emitted payload missing a required schema field or carrying an "
+         "undeclared key"),
+    Rule("DET013", "undeclared-consumer-key",
+         "consumer reads a payload key no schema of the topics in view "
+         "declares"),
+    Rule("DET014", "helper-hidden-foreign-stream",
+         "foreign package-owned RNG stream reached through helper call "
+         "frames"),
+    Rule("DET015", "unordered-iteration-to-heap",
+         "set iteration whose body reaches the event heap through helper "
+         "calls"),
 ]}
 
 

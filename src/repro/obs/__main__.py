@@ -17,23 +17,29 @@
     real elapsed time (ROADMAP open item 1).  Writes a machine-readable
     ``BENCH_profile.json`` and exits nonzero when less than
     ``--min-attributed`` percent of measured wall-clock lands in named
-    stages.
+    stages.  ``--baseline`` compares against a committed profile and
+    fails on unexplained event-count growth.
 
 ``python -m repro.obs diff <a.jsonl> <b.jsonl> [--canonical]``
     Trace diff: first divergent timestamp group + per-topic count deltas
     between two traces of the same (seed, workload).  Exits 0 when the
     traces agree, 1 when they diverge or cannot be read.
 
-``python -m repro.obs smoke``
+``python -m repro.obs smoke [--validate]``
     CI determinism gate: run the fig3 replay scenario twice with the same
     seed under ``Simulator(paranoid=True)`` with a live recorder; the two
-    trace digests AND the two sanitizer hashes must be identical.
+    trace digests AND the two sanitizer hashes must be identical.  With
+    ``--validate`` every recorded event is additionally checked against
+    the ``repro.obs.schema`` registry, so an emitter whose payload drifts
+    from its declared contract fails the gate at runtime, not just under
+    the static DET012 pass.
 
-``python -m repro.obs perfguard``
+``python -m repro.obs perfguard [--baseline BENCH_profile.json]``
     CI performance gate: the un-traced (NullRecorder) hot path must stay
     within 5% of the pre-bus code.  Estimated as (per-site guard cost x
     guard-site crossings) against the wall-clock of the chaos replay
-    scenario, with a generous safety factor.
+    scenario, with a generous safety factor.  ``--baseline`` adds an
+    events/sec floor at 25% of the committed profile's throughput.
 """
 
 import argparse
@@ -115,7 +121,7 @@ def accuracy(scenario_id="fig3", seed=7, snapshot=None,
 
 
 def profile(scenario_id="chaos", seed=7, top=15, out="BENCH_profile.json",
-            min_attributed=95.0):
+            min_attributed=95.0, baseline=None):
     """Host wall-clock profile of one scenario; writes ``out`` JSON."""
     import json
 
@@ -141,6 +147,36 @@ def profile(scenario_id="chaos", seed=7, top=15, out="BENCH_profile.json",
               f"{min_attributed:.1f}% of wall-clock attributed — FAIL",
               file=sys.stderr)
         return 1
+    if baseline:
+        return _profile_against_baseline(payload, baseline, scenario_id,
+                                         seed)
+    return 0
+
+
+def _profile_against_baseline(payload, baseline, scenario_id, seed):
+    """Event-count drift gate against a committed ``BENCH_profile.json``.
+
+    Event counts are deterministic for a (scenario, seed), so unexplained
+    growth means the sim loop is doing more work per simulated second —
+    the creep ROADMAP item 1 is about.  50% headroom so intentional
+    scenario extensions only need a baseline refresh, not a fight.
+    """
+    import json
+
+    with open(baseline) as fh:
+        base = json.load(fh)
+    if base.get("scenario") != scenario_id or base.get("seed") != seed:
+        print(f"baseline gate: {baseline} records scenario="
+              f"{base.get('scenario')} seed={base.get('seed')}, not "
+              f"{scenario_id}/{seed} — SKIPPED", file=sys.stderr)
+        return 0
+    base_events, events = base.get("events", 0), payload["events"]
+    print(f"baseline: {base_events} events (committed) vs {events} (now)")
+    if base_events and events > 1.5 * base_events:
+        print(f"baseline gate: event count grew {events / base_events:.2f}x"
+              " over the committed profile — refresh BENCH_profile.json "
+              "if intentional — FAIL", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -160,29 +196,43 @@ def diff(path_a, path_b, canonical=False):
     return 0 if report.identical else 1
 
 
-def _traced_fig3(seed):
+def _traced_fig3(seed, validate=False):
     """One traced, paranoid fig3 replay: (trace_digest, sanitizer hash)."""
     from repro.experiments.fig3 import replay_scenario
     from repro.sim.core import Simulator
 
-    recorder = TraceRecorder(keep_events=False)
+    recorder = TraceRecorder(keep_events=False, validate=validate)
     sim = Simulator(seed=seed, paranoid=True, recorder=recorder)
     replay_scenario(sim)
     return recorder.trace_digest(), sim.trace_hash(), recorder.count
 
 
-def smoke(seed=7):
-    """Same-seed traced runs must produce identical digests and hashes."""
-    digest_a, hash_a, count_a = _traced_fig3(seed)
-    digest_b, hash_b, count_b = _traced_fig3(seed)
+def smoke(seed=7, validate=False):
+    """Same-seed traced runs must produce identical digests and hashes.
+
+    With ``validate=True`` every recorded event is also checked against
+    the ``repro.obs.schema`` registry as it is emitted, so a payload
+    that drifts from its declared contract fails the gate loudly.
+    """
+    from repro.obs.schema import SchemaViolation
+
+    try:
+        digest_a, hash_a, count_a = _traced_fig3(seed, validate=validate)
+        digest_b, hash_b, count_b = _traced_fig3(seed, validate=validate)
+    except SchemaViolation as exc:
+        print(f"schema violation: {exc}", file=sys.stderr)
+        print("trace determinism: SCHEMA MISMATCH")
+        return 1
     ok = digest_a == digest_b and hash_a == hash_b
     print(f"run A: {count_a} events  digest {digest_a}  hash {hash_a}")
     print(f"run B: {count_b} events  digest {digest_b}  hash {hash_b}")
+    if validate:
+        print(f"schema validation: OK ({count_a + count_b} events checked)")
     print("trace determinism: " + ("OK" if ok else "MISMATCH"))
     return 0 if ok else 1
 
 
-def perfguard(budget_pct=5.0):
+def perfguard(budget_pct=5.0, baseline=None):
     """Bound the NullRecorder overhead of the bus refactor.
 
     Every emit site the refactor added costs one attribute load plus one
@@ -236,7 +286,38 @@ def perfguard(budget_pct=5.0):
           f"(budget {budget_pct:.1f}%)")
     ok = pct < budget_pct
     print("perf guard: " + ("OK" if ok else "OVER BUDGET"))
+    if ok and baseline:
+        return _throughput_floor(baseline, recorder.count, base_s)
     return 0 if ok else 1
+
+
+def _throughput_floor(baseline, events, wall_s):
+    """Events/sec must stay above a quarter of the committed profile's.
+
+    The committed ``BENCH_profile.json`` was measured on some maintainer
+    or CI machine; a 4x cushion absorbs hardware variance while still
+    catching order-of-magnitude hot-path regressions.  The baseline rate
+    uses ``loop_s`` measured *under* profiling instrumentation, which
+    only makes the floor more forgiving.
+    """
+    import json
+
+    with open(baseline) as fh:
+        base = json.load(fh)
+    base_events, loop_s = base.get("events", 0), base.get("loop_s", 0.0)
+    if not base_events or not loop_s or not wall_s:
+        print(f"throughput floor: no usable rate in {baseline} — SKIPPED",
+              file=sys.stderr)
+        return 0
+    base_rate, rate = base_events / loop_s, events / wall_s
+    floor = 0.25 * base_rate
+    print(f"throughput: {rate:,.0f} events/s "
+          f"(committed profile: {base_rate:,.0f}, floor {floor:,.0f})")
+    if rate < floor:
+        print("throughput floor: below 25% of the committed profile "
+              "— FAIL", file=sys.stderr)
+        return 1
+    return 0
 
 
 def main(argv=None):
@@ -275,6 +356,9 @@ def main(argv=None):
                         metavar="PCT",
                         help="fail when less than PCT%% of wall-clock is "
                              "attributed to named stages (default 95)")
+    p_prof.add_argument("--baseline", metavar="PATH", default=None,
+                        help="committed BENCH_profile.json to gate event-"
+                             "count drift against")
     p_diff = sub.add_parser("diff",
                             help="first divergence between two traces")
     p_diff.add_argument("trace_a", help="baseline JSONL trace")
@@ -285,10 +369,16 @@ def main(argv=None):
     p_smoke = sub.add_parser("smoke",
                              help="same-seed trace determinism gate")
     p_smoke.add_argument("--seed", type=int, default=7)
+    p_smoke.add_argument("--validate", action="store_true",
+                         help="also check every recorded event against "
+                              "the repro.obs.schema registry")
     p_perf = sub.add_parser("perfguard",
                             help="NullRecorder overhead budget gate")
     p_perf.add_argument("--budget", type=float, default=5.0,
                         help="overhead budget in percent")
+    p_perf.add_argument("--baseline", metavar="PATH", default=None,
+                        help="committed BENCH_profile.json to hold an "
+                             "events/sec floor against")
     args = parser.parse_args(argv)
     if args.cmd == "summarize":
         return summarize(args.trace, top=args.top)
@@ -299,12 +389,13 @@ def main(argv=None):
     if args.cmd == "profile":
         return profile(scenario_id=args.scenario, seed=args.seed,
                        top=args.top, out=args.out,
-                       min_attributed=args.min_attributed)
+                       min_attributed=args.min_attributed,
+                       baseline=args.baseline)
     if args.cmd == "diff":
         return diff(args.trace_a, args.trace_b, canonical=args.canonical)
     if args.cmd == "smoke":
-        return smoke(seed=args.seed)
-    return perfguard(budget_pct=args.budget)
+        return smoke(seed=args.seed, validate=args.validate)
+    return perfguard(budget_pct=args.budget, baseline=args.baseline)
 
 
 if __name__ == "__main__":

@@ -100,7 +100,7 @@ class _PendingVerdict:
 def _group_of(fields):
     """(dev_kind, sched, device) from an enriched verdict event."""
     return (fields.get("dev_kind", "?"), fields.get("sched", "?"),
-            fields.get("device", fields.get("dev", "?")))
+            fields.get("device", "?"))
 
 
 class AccuracyJoiner:

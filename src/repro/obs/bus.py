@@ -108,17 +108,26 @@ class TraceRecorder:
     """Accumulates typed events, their canonical JSONL, and a trace hash.
 
     ``keep_events`` can be disabled for very long runs where only the
-    digest (determinism checking) matters.
+    digest (determinism checking) matters.  ``validate=True`` is the
+    paranoid debug mode: every recorded event is checked against its
+    topic's declared schema (:mod:`repro.obs.schema`) and the first
+    mismatch raises :class:`~repro.obs.schema.SchemaViolation` — the
+    dynamic twin of the static event-flow lint pass (DET011-DET013).
     """
 
     active = True
 
-    def __init__(self, keep_events=True):
+    def __init__(self, keep_events=True, validate=False):
         self.events = [] if keep_events else None
         self.count = 0
+        self.validate = validate
         self._hash = hashlib.blake2b(digest_size=16)
 
     def record(self, event):
+        if self.validate:
+            # Imported lazily: the non-validating hot path never pays it.
+            from repro.obs.schema import validate_event
+            validate_event(event)
         self.count += 1
         self._hash.update(event.to_json().encode())
         self._hash.update(b"\n")

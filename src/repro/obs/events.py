@@ -31,44 +31,25 @@ request/op (the span invariant; see DESIGN.md "Observability plane").
 
 Events are sim-time-stamped only — no wall-clock ever enters the stream —
 so a (seed, workload) pair always produces a byte-identical trace.
+
+Each topic's payload contract (required/optional fields + coarse types)
+is declared in :mod:`repro.obs.schema` — the single source of truth the
+constants below re-export from.  The event-flow lint pass (DET011-DET013)
+and ``TraceRecorder(validate=True)`` both enforce those declarations.
 """
 
 import json
 
-# -- topics -----------------------------------------------------------------
-IO_SUBMIT = "io.submit"
-IO_DISPATCH = "io.dispatch"
-IO_SERVICE_START = "io.service_start"
-IO_COMPLETE = "io.complete"
-IO_CANCEL = "io.cancel"
+# -- topics (declared in repro.obs.schema; re-exported here) -----------------
+from repro.obs.schema import (CACHE_HIT, CACHE_MISS, CACHE_SWAPIN, DECISION,
+                              DEVICE_CLEAN, FAULT, IO_CANCEL, IO_COMPLETE,
+                              IO_DISPATCH, IO_SERVICE_START, IO_SUBMIT,
+                              OS_EBUSY, OS_READ, OS_WRITE, RPC_DROP, RPC_RECV,
+                              RPC_SEND, SCHEMAS, SPAN_OP, SPAN_REQUEST,
+                              VERDICT)
 
-OS_READ = "os.read"
-OS_WRITE = "os.write"
-OS_EBUSY = "os.ebusy"
-
-VERDICT = "predictor.verdict"
-
-CACHE_HIT = "cache.hit"
-CACHE_MISS = "cache.miss"
-CACHE_SWAPIN = "cache.swapin"
-
-RPC_SEND = "rpc.send"
-RPC_RECV = "rpc.recv"
-RPC_DROP = "rpc.drop"
-
-FAULT = "fault.transition"
-DECISION = "strategy.decision"
-DEVICE_CLEAN = "device.clean"
-
-SPAN_REQUEST = "span.request"
-SPAN_OP = "span.op"
-
-ALL_TOPICS = (
-    IO_SUBMIT, IO_DISPATCH, IO_SERVICE_START, IO_COMPLETE, IO_CANCEL,
-    OS_READ, OS_WRITE, OS_EBUSY, VERDICT, CACHE_HIT, CACHE_MISS,
-    CACHE_SWAPIN, RPC_SEND, RPC_RECV, RPC_DROP, FAULT, DECISION,
-    DEVICE_CLEAN, SPAN_REQUEST, SPAN_OP,
-)
+#: Every declared topic, in the schema registry's canonical order.
+ALL_TOPICS = tuple(SCHEMAS)
 
 # -- span stage names --------------------------------------------------------
 #: Fixed OS entry/exit cost (syscall, EBUSY reply).

@@ -310,8 +310,8 @@ class MeteredRecorder(TraceRecorder):
     the registry stays a pure trace-plane consumer, fed by the same typed
     events every other subscriber sees, just without the replay step."""
 
-    def __init__(self, registry, keep_events=True):
-        super().__init__(keep_events=keep_events)
+    def __init__(self, registry, keep_events=True, validate=False):
+        super().__init__(keep_events=keep_events, validate=validate)
         self.registry = registry
 
     def record(self, event):

@@ -1,0 +1,12 @@
+"""DET014 positive: a helper hides a foreign-stream draw from callers."""
+
+
+def _jitter(sim):
+    # The draw itself is DET006's finding; the allow below is how such a
+    # draw survives review — and exactly why callers need DET014.
+    # repro: allow[DET006] modelled cross-layer noise, reviewed
+    return sim.rng("faults/net").random()
+
+
+def hop_latency(sim, base_us):
+    return base_us + _jitter(sim)     # DET014: reaches faults/net

@@ -1,0 +1,11 @@
+"""DET014 negative: the laundered draw's call site carries an allow."""
+
+
+def _jitter(sim):
+    # repro: allow[DET006] modelled cross-layer noise, reviewed
+    return sim.rng("faults/net").random()
+
+
+def hop_latency(sim, base_us):
+    # repro: allow[DET014] single caller, draw order documented in DESIGN
+    return base_us + _jitter(sim)

@@ -1,0 +1,9 @@
+"""DET011 positive: trace topics the schema registry never declared."""
+
+
+def emit_typo(bus, req):
+    bus.record("io.submt", {"req": req})           # DET011: typo'd topic
+
+
+def watch_typo(bus, on_complete):
+    bus.subscribe("io.completed", on_complete)     # DET011: typo'd topic

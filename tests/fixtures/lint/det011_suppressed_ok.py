@@ -1,0 +1,6 @@
+"""DET011 negative: the undeclared topic carries an explicit allow."""
+
+
+def emit_staged(bus, req):
+    # repro: allow[DET011] staging topic; its schema lands with the emitter
+    bus.record("io.submt", {"req": req})

@@ -1,0 +1,10 @@
+"""DET012 positive: emitted payload breaks the io.complete contract."""
+
+from repro.obs.events import IO_COMPLETE, request_fields
+
+
+def complete(bus, req, latency):
+    fields = request_fields(req)
+    fields["latency_ms"] = latency     # renamed key: schema says 'latency'
+    fields["dev"] = "disk0"
+    bus.record(IO_COMPLETE, fields)    # DET012: undeclared + missing key

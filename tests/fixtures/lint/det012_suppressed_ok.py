@@ -1,0 +1,11 @@
+"""DET012 negative: the contract break carries an explicit allow."""
+
+from repro.obs.events import IO_COMPLETE, request_fields
+
+
+def complete(bus, req, latency):
+    fields = request_fields(req)
+    fields["latency_ms"] = latency
+    fields["dev"] = "disk0"
+    # repro: allow[DET012] transitional double-write during a key rename
+    bus.record(IO_COMPLETE, fields)

@@ -1,0 +1,21 @@
+"""DET013 positive: consumer reads a key no verdict schema declares."""
+
+from repro.obs.events import VERDICT
+
+
+def grade(events):
+    graded = []
+    for ev in events:
+        if ev.topic == VERDICT:
+            graded.append(ev.fields.get("verdict_kind"))   # DET013
+    return graded
+
+
+def _stat(fields):
+    return fields.get("accuracy_pct")                      # DET013 (via f)
+
+
+def fold(ev):
+    if ev.topic == VERDICT:
+        return _stat(ev.fields)
+    return None

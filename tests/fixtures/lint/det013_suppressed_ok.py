@@ -1,0 +1,12 @@
+"""DET013 negative: the drifted read carries an explicit allow."""
+
+from repro.obs.events import VERDICT
+
+
+def grade(events):
+    graded = []
+    for ev in events:
+        if ev.topic == VERDICT:
+            # repro: allow[DET013] reads a trace produced by an older build
+            graded.append(ev.fields.get("verdict_kind"))
+    return graded

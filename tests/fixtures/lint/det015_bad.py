@@ -1,0 +1,15 @@
+"""DET015 positive: set iteration reaching the event heap via a helper.
+
+Lives outside the scheduling directories on purpose: DET003 does not
+apply here, so only the interprocedural pass sees the hazard.
+"""
+
+
+def _kick(sim, job):
+    sim.schedule_at(sim.now + 10.0, job)
+
+
+def launch_all(sim, jobs):
+    pending = set(jobs)
+    for job in pending:               # DET015: hash order -> heap order
+        _kick(sim, job)

@@ -1,0 +1,11 @@
+"""DET015 negative: sorted() pins the order before the heap sees it."""
+
+
+def _kick(sim, job):
+    sim.schedule_at(sim.now + 10.0, job)
+
+
+def launch_all(sim, jobs):
+    pending = set(jobs)
+    for job in sorted(pending):
+        _kick(sim, job)

@@ -23,6 +23,11 @@ POSITIVE = {
     "det008_bad.py": "DET008",
     "det009_bad.py": "DET009",
     "devices/det010_bad.py": "DET010",
+    "det011_bad.py": "DET011",
+    "det012_bad.py": "DET012",
+    "det013_bad.py": "DET013",
+    "cluster/det014_bad.py": "DET014",
+    "det015_bad.py": "DET015",
 }
 
 #: fixture file -> rule ID that must NOT fire there.
@@ -38,6 +43,11 @@ NEGATIVE = {
     "det008_suppressed_ok.py": "DET008",
     "det009_suppressed_ok.py": "DET009",
     "devices/det010_suppressed_ok.py": "DET010",
+    "det011_suppressed_ok.py": "DET011",
+    "det012_suppressed_ok.py": "DET012",
+    "det013_suppressed_ok.py": "DET013",
+    "cluster/det014_suppressed_ok.py": "DET014",
+    "det015_sorted_ok.py": "DET015",
 }
 
 

@@ -96,3 +96,62 @@ def test_profile_cli_unknown_scenario(capsys):
     from repro.obs.__main__ import main
     assert main(["profile", "--scenario", "nope"]) == 2
     assert "unknown scenario" in capsys.readouterr().err
+
+
+# -- committed-baseline gates -------------------------------------------------
+def _fake_baseline(tmp_path, **overrides):
+    base = {"scenario": "chaos", "seed": 7, "events": 1000,
+            "loop_s": 0.02}
+    base.update(overrides)
+    path = tmp_path / "BENCH_profile.json"
+    path.write_text(json.dumps(base))
+    return path
+
+
+def test_profile_baseline_gate_passes_and_fails(tmp_path, capsys):
+    from repro.obs.__main__ import _profile_against_baseline
+    payload = {"events": 1200}
+    path = _fake_baseline(tmp_path)
+    assert _profile_against_baseline(payload, path, "chaos", 7) == 0
+    capsys.readouterr()
+    # >1.5x growth over the committed count fails loudly.
+    assert _profile_against_baseline({"events": 1501}, path,
+                                     "chaos", 7) == 1
+    assert "refresh BENCH_profile.json" in capsys.readouterr().err
+
+
+def test_profile_baseline_gate_skips_on_scenario_mismatch(tmp_path,
+                                                          capsys):
+    from repro.obs.__main__ import _profile_against_baseline
+    path = _fake_baseline(tmp_path, scenario="fig3")
+    assert _profile_against_baseline({"events": 9999}, path,
+                                     "chaos", 7) == 0
+    assert "SKIPPED" in capsys.readouterr().err
+
+
+def test_profile_cli_baseline_flag(tmp_path, capsys):
+    from repro.obs.__main__ import main
+    out = tmp_path / "fresh.json"
+    path = _fake_baseline(tmp_path, scenario="fig3", events=10)
+    assert main(["profile", "--scenario", "fig3", "--out", str(out),
+                 "--baseline", str(path)]) == 1
+    err = capsys.readouterr().err
+    assert "event count grew" in err
+
+
+def test_perfguard_throughput_floor(tmp_path, capsys):
+    from repro.obs.__main__ import _throughput_floor
+    path = _fake_baseline(tmp_path)          # 50k events/s committed
+    assert _throughput_floor(path, events=1000, wall_s=0.05) == 0
+    capsys.readouterr()
+    # Two orders of magnitude slower than the committed rate fails.
+    assert _throughput_floor(path, events=1000, wall_s=5.0) == 1
+    assert "throughput floor" in capsys.readouterr().err
+
+
+def test_perfguard_throughput_floor_skips_unusable_baseline(tmp_path,
+                                                            capsys):
+    from repro.obs.__main__ import _throughput_floor
+    path = _fake_baseline(tmp_path, loop_s=0.0)
+    assert _throughput_floor(path, events=1000, wall_s=0.05) == 0
+    assert "SKIPPED" in capsys.readouterr().err
