@@ -42,7 +42,10 @@ class ReplicaHealth:
             return list(replicas)
         self.reorders += 1
         healthy = [n for n in replicas if not self.suspect(n.node_id)]
+        # Tie-break equal suspicion scores by node id: a bare-score sort
+        # would fall back to placement order, which the race harness can
+        # legally permute — the suspect ordering must not depend on it.
         suspects = sorted(
             (n for n in replicas if self.suspect(n.node_id)),
-            key=lambda n: self.suspicion(n.node_id))
+            key=lambda n: (self.suspicion(n.node_id), n.node_id))
         return healthy + suspects

@@ -65,9 +65,15 @@ class StorageNode:
             bus.record(FAULT, {"kind": "restart", "node": self.node_id,
                                "epoch": self.epoch})
 
-    def get(self, key, deadline=None, io_observer=None):
-        """Server-side get as a process event: value is EBUSY or a record."""
-        return self.sim.process(self._handle_get(key, deadline, io_observer))
+    def get(self, key, deadline=None, io_observer=None, priority=None):
+        """Server-side get as a process event: value is EBUSY or a record.
+
+        ``priority`` — if given — is the CFQ priority the read's IOs carry
+        (the SLO-control work tier; admission guards shed high tiers
+        first).  None keeps the engine default.
+        """
+        return self.sim.process(
+            self._handle_get(key, deadline, io_observer, priority))
 
     def get_cancellable(self, key, deadline=None):
         """(event, cancel_fn, began_event) for tied requests (§7.8.2).
@@ -127,14 +133,15 @@ class StorageNode:
         result = yield self.sim.process(self.engine.put(key))
         return result
 
-    def _handle_get(self, key, deadline, io_observer=None):
+    def _handle_get(self, key, deadline, io_observer=None, priority=None):
         self.handled += 1
         if self.cpu is not None:
             yield self.cpu.acquire()
         yield self.handler_cpu_us * self.cpu_slow_factor
         try:
             result = yield self.sim.process(
-                self.engine.get(key, deadline, io_observer=io_observer))
+                self.engine.get(key, deadline, io_observer=io_observer,
+                                priority=priority))
         finally:
             if self.cpu is not None:
                 self.cpu.release()

@@ -11,9 +11,12 @@ Strategy     Paper role
 ``snitch``   EWMA fastest-replica selection (Cassandra-like, §7.8.3)
 ``c3``       adaptive replica ranking with cubic queue penalty (§7.8.3)
 ``mittos``   EBUSY fast failover; 3rd try disables the deadline (§5)
+``adaptive`` mittos under SLO feedback control (deadline bands +
+             admission backpressure; ROADMAP "adaptive SLO control")
 ===========  =================================================================
 """
 
+from repro.cluster.strategies.adaptive import AdaptiveStrategy
 from repro.cluster.strategies.base import AppToStrategy, BaseStrategy, Strategy
 from repro.cluster.strategies.clone import CloneStrategy
 from repro.cluster.strategies.hedged import HedgedStrategy
@@ -30,8 +33,9 @@ STRATEGIES = {
     "snitch": SnitchStrategy,
     "c3": C3Strategy,
     "mittos": MittosStrategy,
+    "adaptive": AdaptiveStrategy,
 }
 
 __all__ = ["Strategy", "BaseStrategy", "AppToStrategy", "CloneStrategy",
            "HedgedStrategy", "TiedStrategy", "SnitchStrategy", "C3Strategy",
-           "MittosStrategy", "STRATEGIES"]
+           "MittosStrategy", "AdaptiveStrategy", "STRATEGIES"]

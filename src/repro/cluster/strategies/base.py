@@ -97,7 +97,7 @@ class Strategy:
 
     def __init__(self, cluster, rpc_timeout_us=None, op_budget_us=None,
                  max_attempts=None, backoff_base_us=1000.0,
-                 backoff_cap_us=64000.0, health=None):
+                 backoff_cap_us=64000.0, health=None, tier_priority=None):
         self.cluster = cluster
         self.sim = cluster.sim
         self.network = cluster.network
@@ -113,6 +113,10 @@ class Strategy:
         self.backoff_base_us = backoff_base_us
         self.backoff_cap_us = backoff_cap_us
         self._health = health
+        #: SLO-control work tier: the CFQ priority this strategy's reads
+        #: carry server-side (None = node default; admission guards shed
+        #: high-numbered tiers first, so background pools use 7).
+        self.tier_priority = tier_priority
         #: Bound lazily so fault-free runs never open the stream.
         self._backoff_rng = None
 
@@ -229,7 +233,11 @@ class Strategy:
             # timeout can end this attempt.
             yield self.sim.event()
         epoch = node.epoch
-        result = yield node.get(key, deadline)
+        if self.tier_priority is None:  # keep the historical call shape
+            result = yield node.get(key, deadline)
+        else:
+            result = yield node.get(key, deadline,
+                                    priority=self.tier_priority)
         if track:
             ctx.charge(STAGE_SERVER, self.sim.now)
         if not node.up or node.epoch != epoch:

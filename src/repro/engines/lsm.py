@@ -116,11 +116,15 @@ class LsmEngine:
             self._l1.append(table)
 
     # -- reads ------------------------------------------------------------
-    def get(self, key, deadline=None, io_observer=None):
-        """Generator: yields EBUSY (propagated) or GetRecord or None."""
-        return self._get(key, deadline, io_observer)
+    def get(self, key, deadline=None, io_observer=None, priority=None):
+        """Generator: yields EBUSY (propagated) or GetRecord or None.
 
-    def _get(self, key, deadline, io_observer):
+        ``priority`` overrides the read's CFQ priority (SLO-control work
+        tier); None keeps the OS default of 4.
+        """
+        return self._get(key, deadline, io_observer, priority)
+
+    def _get(self, key, deadline, io_observer, priority=None):
         self.gets += 1
         start = self.sim.now
         if key in self._memtable:
@@ -133,7 +137,8 @@ class LsmEngine:
                 continue
             result = yield self.os.read(
                 self.file_id, table.block_offset(key), table.block_size,
-                pid=self.pid, deadline=deadline, io_observer=io_observer)
+                pid=self.pid, priority=4 if priority is None else priority,
+                deadline=deadline, io_observer=io_observer)
             if is_ebusy(result):
                 self.ebusy += 1
                 return result  # propagate up (Riak does the failover)

@@ -46,11 +46,15 @@ class MMapEngine:
         self.gets = 0
         self.ebusy = 0
 
-    def get(self, key, deadline=None, io_observer=None):
-        """Generator (run as a process): yields EBUSY or GetRecord."""
-        return self._get(key, deadline, io_observer)
+    def get(self, key, deadline=None, io_observer=None, priority=None):
+        """Generator (run as a process): yields EBUSY or GetRecord.
 
-    def _get(self, key, deadline, io_observer):
+        ``priority`` overrides the read's CFQ priority (SLO-control work
+        tier); None keeps the OS default of 4.
+        """
+        return self._get(key, deadline, io_observer, priority)
+
+    def _get(self, key, deadline, io_observer, priority=None):
         self.gets += 1
         start = self.os.sim.now
         offset, size = self.keyspace.locate(key)
@@ -65,6 +69,8 @@ class MMapEngine:
             deadline = None
 
         result = yield self.os.read(self.file_id, offset, size, pid=self.pid,
+                                    priority=4 if priority is None
+                                    else priority,
                                     deadline=deadline,
                                     io_observer=io_observer)
         if is_ebusy(result):

@@ -1,7 +1,8 @@
 """CLI: ``python -m repro.experiments <id> [--full] [--seed N] [--trace]
-[--metrics [PATH]]``."""
+[--metrics [PATH]] [--faults PATH]``."""
 
 import argparse
+import inspect
 import sys
 import time
 
@@ -32,6 +33,10 @@ def main(argv=None):
     parser.add_argument("--paranoid", action="store_true",
                         help="run simulators with the replay sanitizer "
                              "armed (trace events feed its hash)")
+    parser.add_argument("--faults", metavar="PATH",
+                        help="drive the run from a committed FaultSpec "
+                             "JSON file (experiments that take a 'faults' "
+                             "parameter, e.g. slosweep)")
     parser.add_argument("--seed", type=int, default=7)
     args = parser.parse_args(argv)
 
@@ -40,10 +45,19 @@ def main(argv=None):
             print(f"{exp_id:10s} {title}")
         return 0
 
+    faults = None
+    if args.faults:
+        from repro.faults import FaultSpec
+        faults = FaultSpec.load(args.faults)
+
     ids = list(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]
     for exp_id in ids:
         runner = get_experiment(exp_id)
+        if faults is not None:
+            if "faults" not in inspect.signature(runner).parameters:
+                parser.error(f"experiment '{exp_id}' does not take --faults")
+            runner = _with_faults(runner, faults)
         # repro: allow[DET002] host time only reports CLI runtime; it
         # never enters the simulation.
         start = time.time()
@@ -67,6 +81,13 @@ def main(argv=None):
         elapsed = time.time() - start  # repro: allow[DET002] CLI timing
         print(f"\n[{exp_id} took {elapsed:.1f}s]\n")
     return 0
+
+
+def _with_faults(runner, faults):
+    """Bind a loaded FaultSpec onto a runner that accepts one."""
+    def bound(quick=True, seed=7):
+        return runner(quick=quick, seed=seed, faults=faults)
+    return bound
 
 
 def _run_traced(runner, exp_id, args):

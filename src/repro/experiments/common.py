@@ -18,10 +18,11 @@ from functools import lru_cache
 
 from repro._units import KB, MS
 from repro.cluster import Cluster, Network, StorageNode
-from repro.cluster.strategies import (AppToStrategy, BaseStrategy,
-                                      C3Strategy, CloneStrategy,
-                                      HedgedStrategy, MittosStrategy,
-                                      SnitchStrategy, TiedStrategy)
+from repro.cluster.strategies import (AdaptiveStrategy, AppToStrategy,
+                                      BaseStrategy, C3Strategy,
+                                      CloneStrategy, HedgedStrategy,
+                                      MittosStrategy, SnitchStrategy,
+                                      TiedStrategy)
 from repro.devices import Disk, DiskParams, Ssd, SsdGeometry
 from repro.devices.disk_profile import profile_disk
 from repro.devices.ssd_profile import SsdLatencyModel
@@ -185,6 +186,8 @@ def make_strategy(name, cluster, deadline_us=None, **kwargs):
         return C3Strategy(cluster, **kwargs)
     if name == "mittos":
         return MittosStrategy(cluster, deadline_us=deadline_us, **kwargs)
+    if name == "adaptive":
+        return AdaptiveStrategy(cluster, deadline_us=deadline_us, **kwargs)
     raise ValueError(f"unknown strategy: {name}")
 
 

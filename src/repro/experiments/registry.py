@@ -20,6 +20,8 @@ EXPERIMENTS = {
     "writes": ("repro.experiments.writes", "Write latencies (7.8.6)"),
     "faultsweep": ("repro.experiments.faultsweep",
                    "Fault plane: tails + availability under failures"),
+    "slosweep": ("repro.experiments.slosweep",
+                 "Adaptive SLO control vs static deadline under faults"),
 }
 
 
@@ -40,6 +42,9 @@ SCENARIOS = {
               "error-injected MittCFQ slice (staggered client starts)"),
     "table1": ("repro.experiments.table1", "race_scenario",
                "rotating-contention NoSQL slice (staggered client starts)"),
+    "slosweep": ("repro.experiments.slosweep", "race_scenario",
+                 "adaptive SLO-control slice: controller armed, guards on, "
+                 "scavenger pool (staggered client starts)"),
 }
 
 

@@ -21,7 +21,8 @@ folds in via :attr:`FaultSpec.false_negative_rate` /
 :attr:`FaultSpec.false_positive_rate`.
 """
 
-from dataclasses import dataclass
+import json
+from dataclasses import asdict, dataclass, fields
 
 from repro._units import MS, SEC
 
@@ -158,3 +159,63 @@ class FaultSpec:
         if self.rpc_timeout_us is not None and self.rpc_timeout_us <= 0:
             raise ValueError("rpc_timeout_us must be positive")
         return self
+
+    # -- JSON round-trip ---------------------------------------------------
+    def to_dict(self):
+        """Plain-dict form (tuples become lists; JSON-serializable)."""
+        return asdict(self)
+
+    def to_json(self, indent=2):
+        """Canonical JSON form: sorted keys, stable across runs."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild a spec from :meth:`to_dict` output (or hand-written
+        JSON); unknown keys raise so committed spec files can't rot
+        silently."""
+        data = dict(data)
+        kwargs = {}
+        for name, member_cls in _FAULT_MEMBERS.items():
+            entries = data.pop(name, ())
+            kwargs[name] = tuple(
+                _member_from_dict(member_cls, entry) for entry in entries)
+        scalar_names = {f.name for f in fields(cls)} - set(_FAULT_MEMBERS)
+        for name in list(data):
+            if name not in scalar_names:
+                raise ValueError(f"unknown FaultSpec field: {name!r}")
+            kwargs[name] = data.pop(name)
+        return cls(**kwargs).validate()
+
+    @classmethod
+    def from_json(cls, text):
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def load(cls, path):
+        """Read a committed spec file (CLI ``--faults PATH``)."""
+        with open(path, encoding="utf-8") as fh:
+            return cls.from_json(fh.read())
+
+
+#: FaultSpec member-tuple field -> element class (JSON round-trip map).
+_FAULT_MEMBERS = {
+    "crashes": CrashWindow,
+    "fail_slow": FailSlow,
+    "message_loss": MessageLoss,
+    "partitions": Partition,
+    "device_storms": DeviceStorm,
+    "read_errors": ReadErrors,
+}
+
+
+def _member_from_dict(member_cls, entry):
+    entry = dict(entry)
+    known = {f.name for f in fields(member_cls)}
+    unknown = set(entry) - known
+    if unknown:
+        raise ValueError(f"unknown {member_cls.__name__} field(s): "
+                         f"{sorted(unknown)}")
+    if "spike_us" in entry:  # JSON has no tuples
+        entry["spike_us"] = tuple(entry["spike_us"])
+    return member_cls(**entry)

@@ -102,6 +102,9 @@ class OS:
         self.cache = cache
         #: MittOS predictor for the device queue (None = vanilla Linux).
         self.predictor = predictor
+        #: Optional SLO-control admission guard (``AdmissionGuard.attach``
+        #: installs one); None = no backpressure, byte-identical traces.
+        self.admission = None
         self.params = params or OsParams()
         self._dirty_bytes = 0
         self._flusher_running = False
@@ -157,6 +160,19 @@ class OS:
                                  "size": size, "pid": pid,
                                  "deadline": deadline})
         start = self.sim.now
+
+        if (self.admission is not None
+                and not self.admission.admit(pid, ioclass, priority)):
+            # Backpressure shed: the same cheap fast-reject as a predicted
+            # deadline violation, issued before any cache or IO work.
+            self._note_ebusy(False)
+            if recording:
+                ebusy_us = self.params.ebusy_us
+                ev.add_callback(lambda _ev: bus.record(SPAN_REQUEST, {
+                    "outcome": "shed", "file": file_id, "pid": pid,
+                    "total": ebusy_us, "stages": ebusy_spans(ebusy_us)}))
+            self.sim.schedule(self.params.ebusy_us, ev.try_succeed, EBusy())
+            return ev
 
         if self.cache is not None and self.cache.touch(file_id, offset, size):
             latency = self._memory_read_time(offset, size)

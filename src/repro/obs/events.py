@@ -21,6 +21,12 @@ per simulator.  Topics are plain strings, grouped by layer:
 ``fault.transition``      fault-plane state change (crash, restart, storm…)
 ``strategy.decision``     client-strategy control decision (failover, retry)
 ``device.clean``          device-internal background work (SMR cleaning)
+``slo.window``            SLO-controller observation window closed (p95,
+                          EBUSY rate, error-budget burn, queue depth)
+``slo.transition``        SLO controller changed deadline/degradation level
+``slo.shed``              per-node admission guard shed one read (tiered
+                          backpressure)
+``slo.killswitch``        operator KillSwitch tripped or cleared
 ``span.request``          per-request latency breakdown at completion
 ``span.op``               per-client-op latency breakdown at completion
 ========================  =====================================================
@@ -45,8 +51,9 @@ from repro.obs.schema import (CACHE_HIT, CACHE_MISS, CACHE_SWAPIN, DECISION,
                               DEVICE_CLEAN, FAULT, IO_CANCEL, IO_COMPLETE,
                               IO_DISPATCH, IO_SERVICE_START, IO_SUBMIT,
                               OS_EBUSY, OS_READ, OS_WRITE, RPC_DROP, RPC_RECV,
-                              RPC_SEND, SCHEMAS, SPAN_OP, SPAN_REQUEST,
-                              VERDICT)
+                              RPC_SEND, SCHEMAS, SLO_KILLSWITCH, SLO_SHED,
+                              SLO_TRANSITION, SLO_WINDOW, SPAN_OP,
+                              SPAN_REQUEST, VERDICT)
 
 #: Every declared topic, in the schema registry's canonical order.
 ALL_TOPICS = tuple(SCHEMAS)

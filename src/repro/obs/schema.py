@@ -66,6 +66,11 @@ FAULT = "fault.transition"
 DECISION = "strategy.decision"
 DEVICE_CLEAN = "device.clean"
 
+SLO_WINDOW = "slo.window"
+SLO_TRANSITION = "slo.transition"
+SLO_SHED = "slo.shed"
+SLO_KILLSWITCH = "slo.killswitch"
+
 SPAN_REQUEST = "span.request"
 SPAN_OP = "span.op"
 
@@ -171,6 +176,29 @@ SCHEMAS = {s.topic: s for s in (
             {"device": "str", "kind": "str"},
             optional={"busy_until": "number", "bands_cleaned": "int",
                       "cache_fill": "number"}),
+    _schema(SLO_WINDOW,
+            "one SLO-controller observation window closed: windowed tail "
+            "latency, EBUSY rate, error-budget burn, backpressure state",
+            {"controller": "str", "window": "int", "n": "int",
+             "p95": "number?", "ebusy_rate": "number", "burn": "number",
+             "shed": "int", "qdepth": "int", "level": "int",
+             "deadline": "number", "mode": "str"}),
+    _schema(SLO_TRANSITION,
+            "the SLO controller changed its effective deadline or "
+            "degradation level (adaptive move, manual override, reset)",
+            {"controller": "str", "kind": "str", "deadline": "number",
+             "level": "int", "mode": "str"},
+            optional={"window": "int"}),
+    _schema(SLO_SHED,
+            "a per-node admission guard shed one read at syscall entry "
+            "(lowest tier first; graceful-degradation backpressure)",
+            {"node": "key", "pid": "int", "tier": "int", "level": "int",
+             "queued": "int"}),
+    _schema(SLO_KILLSWITCH,
+            "operator KillSwitch transition: tripping freezes every "
+            "adaptive move and restores the baseline deadline instantly",
+            {"controller": "str", "action": "str", "reason": "str",
+             "deadline": "number"}),
     _schema(SPAN_REQUEST,
             "per-request latency breakdown at completion",
             {"outcome": "str", "total": "number", "stages": "mapping"},

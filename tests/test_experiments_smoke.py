@@ -14,7 +14,7 @@ def test_registry_covers_every_table_and_figure():
     assert set(EXPERIMENTS) == {
         "table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
         "fig10", "fig11", "fig12", "fig13", "allinone", "writes",
-        "faultsweep"}
+        "faultsweep", "slosweep"}
 
 
 def test_unknown_experiment_raises():

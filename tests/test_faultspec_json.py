@@ -1,0 +1,94 @@
+"""Tests of the FaultSpec JSON round-trip and the CLI --faults plumbing."""
+
+import json
+
+import pytest
+
+from repro._units import MS, SEC
+from repro.experiments.__main__ import main as experiments_main
+from repro.faults import (CrashWindow, DeviceStorm, FailSlow, FaultSpec,
+                          MessageLoss, Partition, ReadErrors)
+
+
+def _full_spec():
+    """A spec touching every member class and every scalar knob."""
+    return FaultSpec(
+        crashes=(CrashWindow(node=1, start_us=1 * SEC, duration_us=2 * SEC),
+                 CrashWindow(node=4, start_us=5 * SEC)),
+        fail_slow=(FailSlow(node=2, start_us=0.0, duration_us=1 * SEC,
+                            cpu_factor=3.0, device_factor=2.0),),
+        message_loss=(MessageLoss(rate=0.1, src=-1, dst=3),),
+        partitions=(Partition(a=0, b=5, start_us=2 * SEC),),
+        device_storms=(DeviceStorm(node=3, start_us=1 * SEC,
+                                   duration_us=1 * SEC, factor=2.5,
+                                   spike_prob=0.2,
+                                   spike_us=(1 * MS, 9 * MS)),),
+        read_errors=(ReadErrors(rate=0.02, node=2),),
+        false_negative_rate=0.01, false_positive_rate=0.03,
+        rpc_timeout_us=90 * MS, op_budget_us=3 * SEC, max_attempts=6,
+        track_health=False,
+    )
+
+
+def test_round_trip_is_lossless():
+    spec = _full_spec()
+    assert FaultSpec.from_json(spec.to_json()) == spec
+
+
+def test_round_trip_restores_tuple_types():
+    spec = FaultSpec.from_json(_full_spec().to_json())
+    assert isinstance(spec.crashes, tuple)
+    assert isinstance(spec.device_storms[0].spike_us, tuple)
+
+
+def test_json_form_is_canonical():
+    text = _full_spec().to_json()
+    data = json.loads(text)
+    assert list(data) == sorted(data)  # sort_keys: stable for diffs
+    assert text == _full_spec().to_json()
+
+
+def test_empty_spec_round_trips():
+    assert FaultSpec.from_json(FaultSpec().to_json()) == FaultSpec()
+
+
+def test_unknown_top_level_field_rejected():
+    with pytest.raises(ValueError, match="unknown FaultSpec field"):
+        FaultSpec.from_dict({"gremlins": []})
+
+
+def test_unknown_member_field_rejected():
+    with pytest.raises(ValueError, match="unknown CrashWindow field"):
+        FaultSpec.from_dict(
+            {"crashes": [{"node": 1, "start_us": 0.0, "blast_radius": 3}]})
+
+
+def test_from_dict_validates():
+    with pytest.raises(ValueError, match="rate out of range"):
+        FaultSpec.from_dict({"message_loss": [{"rate": 1.5}]})
+
+
+def test_load_reads_a_committed_file(tmp_path):
+    path = tmp_path / "plan.json"
+    path.write_text(_full_spec().to_json(), encoding="utf-8")
+    assert FaultSpec.load(path) == _full_spec()
+
+
+def test_cli_runs_slosweep_from_a_faults_file(tmp_path, capsys):
+    spec = FaultSpec(message_loss=(MessageLoss(rate=0.05),),
+                     rpc_timeout_us=80 * MS, op_budget_us=500 * MS,
+                     max_attempts=4)
+    path = tmp_path / "plan.json"
+    path.write_text(spec.to_json(), encoding="utf-8")
+    rc = experiments_main(["slosweep", "--faults", str(path), "--seed", "7"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "custom" in out  # the loaded plan replaced the grid cells
+    assert "adaptive" in out
+
+
+def test_cli_rejects_faults_for_experiments_without_the_parameter(tmp_path):
+    path = tmp_path / "plan.json"
+    path.write_text(FaultSpec().to_json(), encoding="utf-8")
+    with pytest.raises(SystemExit):
+        experiments_main(["table1", "--faults", str(path)])

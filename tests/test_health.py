@@ -60,6 +60,20 @@ def test_multiple_suspects_sorted_least_suspect_first():
     assert [n.node_id for n in ordered] == [1, 2, 0]
 
 
+def test_equal_suspicion_ties_break_by_node_id():
+    # Regression: a bare-score sort fell back to placement order for
+    # equal EWMAs, so the race harness could legally permute the suspect
+    # ordering; the (suspicion, node_id) key makes it deterministic.
+    health = ReplicaHealth()
+    for node_id in (5, 3, 9):
+        for _ in range(3):
+            health.record(node_id, failed=True)  # identical suspicion
+    assert len({health.suspicion(n) for n in (5, 3, 9)}) == 1
+    for replicas in (_nodes(5, 3, 9), _nodes(9, 5, 3), _nodes(3, 9, 5)):
+        ordered = health.order(replicas)
+        assert [n.node_id for n in ordered] == [3, 5, 9]
+
+
 def test_recovered_node_regains_its_place():
     health = ReplicaHealth()
     for _ in range(3):

@@ -1,0 +1,76 @@
+"""Acceptance tests for the slosweep experiment (adaptive vs static)."""
+
+import pytest
+
+from repro._units import MS
+from repro.experiments import EXPERIMENTS, get_experiment
+from repro.experiments.registry import SCENARIOS
+from repro.experiments.slosweep import (CELLS, FLOOR_DIV, LINES, cell_spec,
+                                        run)
+from repro.faults import FaultSpec, MessageLoss
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    """One shared quick run: every acceptance check reads the same data."""
+    return run(quick=True, seed=7)
+
+
+def test_slosweep_is_registered():
+    assert "slosweep" in EXPERIMENTS
+    assert "slosweep" in SCENARIOS
+    assert get_experiment("slosweep") is run
+
+
+def test_every_cell_runs_every_line(sweep):
+    cells = sweep.data["cells"]
+    assert set(cells) == set(CELLS)
+    for cell_data in cells.values():
+        assert set(cell_data["p95"]) == set(LINES)
+        assert set(cell_data["rejected"]) == set(LINES)
+
+
+def test_adaptive_meets_or_beats_static_mittos_somewhere(sweep):
+    # The headline acceptance: on at least one grid cell the feedback
+    # controller's foreground p95 is no worse than the static baseline's.
+    cells = sweep.data["cells"]
+    assert any(d["p95"]["adaptive"] <= d["p95"]["mittos"]
+               for d in cells.values())
+
+
+def test_adaptive_sheds_strictly_less_than_tight_rejects(sweep):
+    # Graceful degradation, not blanket rejection: what the guards shed
+    # is a sliver of what the pre-tightened static deadline bounces.
+    for d in sweep.data["cells"].values():
+        assert d["shed"] < d["rejected"]["tight"]
+
+
+def test_backpressure_actually_engages(sweep):
+    # At least one cell must exercise the queue-depth shedding path —
+    # a sweep where the guards never fire isn't testing backpressure.
+    assert any(d["shed"] > 0 for d in sweep.data["cells"].values())
+
+
+def test_controller_adapts_within_the_operator_bands(sweep):
+    baseline = sweep.data["baseline_us"]
+    for d in sweep.data["cells"].values():
+        assert d["transitions"] >= 1
+        assert baseline / FLOOR_DIV <= d["final_deadline_us"] \
+            <= baseline * 4.0
+
+
+def test_cell_specs_validate():
+    for cell in CELLS:
+        spec = cell_spec(cell, 8_000 * MS)
+        assert spec.validate() is spec
+    with pytest.raises(ValueError):
+        cell_spec("nope", 8_000 * MS)
+
+
+def test_custom_faults_replace_the_grid():
+    spec = FaultSpec(message_loss=(MessageLoss(rate=0.05),),
+                     rpc_timeout_us=80 * MS, op_budget_us=500 * MS,
+                     max_attempts=4)
+    result = run(quick=True, seed=7, faults=spec)
+    assert set(result.data["cells"]) == {"custom"}
+    assert set(result.data["cells"]["custom"]["p95"]) == set(LINES)

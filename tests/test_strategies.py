@@ -23,9 +23,9 @@ def _get(sim, strategy, key):
     return ev
 
 
-def test_registry_contains_all_eight():
+def test_registry_contains_all_nine():
     assert set(STRATEGIES) == {"base", "appto", "clone", "hedged", "tied",
-                               "snitch", "c3", "mittos"}
+                               "snitch", "c3", "mittos", "adaptive"}
 
 
 def test_base_waits_out_the_noise(sim):
