@@ -1,4 +1,4 @@
-"""Determinism lint rules DET001-DET010.
+"""Determinism lint rules DET001-DET010 and DET016.
 
 Each rule is an AST checker with a stable ID.  Rules are deliberately
 syntactic (no type inference): they encode the *project conventions* that
@@ -30,6 +30,10 @@ DET009      raw-float unit conversion (``* 1000``, ``/ 1e6``, ...) on
 DET010      cross-layer mutation: device code assigning to
             scheduler/cluster/OS state instead of going through the bus
             or a scheduled event
+DET016      per-event closure allocation in ``sim/`` hot paths: a
+            ``lambda`` built inside a function body there costs one
+            closure object per kernel event and defeats the
+            preallocated-bound-method diet of the speed rewrite
 ==========  ============================================================
 
 Suppress a finding with ``# repro: allow[DET00X]`` on the offending line
@@ -147,6 +151,9 @@ RULES = {r.id: r for r in [
     Rule("DET015", "unordered-iteration-to-heap",
          "set iteration whose body reaches the event heap through helper "
          "calls"),
+    Rule("DET016", "hot-path-closure",
+         "lambda allocated inside a sim/ function body (per-event closure "
+         "churn on the kernel hot path)"),
 ]}
 
 
@@ -675,6 +682,40 @@ def check_det010(tree, ctx):
     return findings
 
 
+# -- DET016: per-event closure allocation on sim hot paths -----------------
+
+def check_det016(tree, ctx):
+    """Flag lambdas built inside ``sim/`` function bodies.
+
+    The kernel executes hundreds of thousands of events per second, and
+    the speed rewrite's allocation diet replaced per-event closures with
+    preallocated bound methods (``Process._step_cb``, the shared
+    ``AllOf._on_child_event``, fused timer callbacks).  A ``lambda``
+    inside a function body here reintroduces one closure object — plus a
+    cell per captured name — *per event*; hoist a bound method or a
+    module-level function instead.  Module-level lambdas (constants,
+    sort keys defined once) are not flagged, and the rule is scoped to
+    the ``sim`` package: elsewhere closures are a style question, not a
+    hot-path hazard.
+    """
+    if "sim" not in ctx.path_parts:
+        return []
+    findings = []
+    seen = set()
+    for outer in ast.walk(tree):
+        if not isinstance(outer, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for node in ast.walk(outer):
+            if isinstance(node, ast.Lambda) and id(node) not in seen:
+                seen.add(id(node))
+                findings.append(_finding(
+                    "DET016", node,
+                    "lambda allocated inside a sim hot path — this costs "
+                    "one closure object per kernel event; hoist a bound "
+                    "method or module-level function instead"))
+    return findings
+
+
 CHECKERS = {
     "DET001": check_det001,
     "DET002": check_det002,
@@ -686,4 +727,5 @@ CHECKERS = {
     "DET008": check_det008,
     "DET009": check_det009,
     "DET010": check_det010,
+    "DET016": check_det016,
 }

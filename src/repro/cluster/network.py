@@ -52,6 +52,10 @@ class Network:
         self.stats = NetStats()
         self.bus.subscribe(RPC_SEND, self.stats.on_send, source=self)
         self.bus.subscribe(RPC_DROP, self.stats.on_drop, source=self)
+        # Hoisted live subscriber lists (TraceBus.channel): send() runs
+        # once per message, so it iterates these directly.
+        self._send_subs = self.bus.channel(RPC_SEND, self)
+        self._drop_subs = self.bus.channel(RPC_DROP, self)
         self._rng = sim.rng("network")
 
     @property
@@ -69,26 +73,37 @@ class Network:
         return self.sim.timeout(self.hop_latency())
 
     def send(self, src, dst):
-        """One directed message from ``src`` to ``dst`` as an event.
+        """One directed message from ``src`` to ``dst`` as a *waitable* —
+        an :class:`~repro.sim.events.Event`, or a plain hop-delay number
+        (both are valid process yields; all call sites yield the result).
 
         Delivers after one hop, unless the fault plane decides the message
-        is lost (loss rate or partition) — then the event never fires and
-        only the sender's own timeout can save it, exactly like a dropped
-        datagram.  Fault-free this is byte-identical to :meth:`hop`.
+        is lost (loss rate or partition) — then the returned event never
+        fires and only the sender's own timeout can save it, exactly like
+        a dropped datagram.  Fault-free this is byte-identical to
+        :meth:`hop`.
+
+        The delivered fast path returns the bare latency so the yielding
+        process takes the kernel's fused timeout path (no timer Event per
+        message); a recorder in place gets the full ``rpc.recv`` event and
+        therefore the evented slow path.
         """
         bus = self.bus
         if self.fault_plane is not None and \
                 self.fault_plane.drop_message(src, dst):
-            bus.emit(RPC_DROP, self, src, dst)
+            for fn in self._drop_subs:
+                fn(src, dst)
             if bus.recorder.active:
                 bus.record(RPC_DROP, {"src": src, "dst": dst})
             return self.sim.event()  # lost: never fires
-        bus.emit(RPC_SEND, self, src, dst)
+        for fn in self._send_subs:
+            fn(src, dst)
         latency = self.hop_latency()
-        ev = self.sim.timeout(latency)
         if bus.recorder.active:
             bus.record(RPC_SEND, {"src": src, "dst": dst,
                                   "latency": latency})
+            ev = self.sim.timeout(latency)
             ev.add_callback(lambda _ev: bus.record(
                 RPC_RECV, {"src": src, "dst": dst, "latency": latency}))
-        return ev
+            return ev
+        return latency

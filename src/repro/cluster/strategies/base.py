@@ -10,6 +10,7 @@ fail-free behaviour, byte-identical traces); arming a
 """
 
 from repro.errors import EIO, is_ebusy
+from repro.sim.events import Race
 from repro.obs.events import (DECISION, SPAN_OP, STAGE_BACKOFF,
                               STAGE_FAILOVER_HOP, STAGE_NETWORK_HOP,
                               STAGE_PARALLEL_WAIT, STAGE_SERVER,
@@ -253,13 +254,12 @@ class Strategy:
 
         The timer is cancelled when the event wins, so long runs don't
         accumulate dead timeout entries in the heap (and ``sim.run()``
-        doesn't chase a far-future timer that lost its race).
+        doesn't chase a far-future timer that lost its race).  Fused: a
+        single :class:`~repro.sim.events.Race` replaces the old
+        timer-event + AnyOf pair (same observed kernel schedule).
         """
-        timer = self.sim.event()
-        handle = self.sim.schedule(timeout_us, timer.try_succeed, EIO)
-        idx, value = yield self.sim.any_of([event, timer])
+        idx, value = yield Race(self.sim, event, timeout_us, EIO)
         if idx == 0:
-            handle.cancel()
             return True, value
         return False, None
 

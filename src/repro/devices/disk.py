@@ -151,8 +151,17 @@ class Disk:
         while self._batch or self._queue:
             if not self._batch:
                 self._batch, self._queue = self._queue, []
-            req = min(self._batch, key=lambda r: abs(r.offset - self._head))
-            self._batch.remove(req)
+            # SSTF pick by hand: batches are a few entries deep (NCQ-sized),
+            # where an explicit scan beats min()'s per-dispatch key lambda.
+            batch = self._batch
+            head = self._head
+            best = 0
+            best_dist = abs(batch[0].offset - head)
+            for i in range(1, len(batch)):
+                dist = abs(batch[i].offset - head)
+                if dist < best_dist:
+                    best, best_dist = i, dist
+            req = batch.pop(best)
             if req.cancelled:
                 continue
             self._current = req

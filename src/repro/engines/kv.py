@@ -32,13 +32,21 @@ class KeySpace:
         self._slots = self.span_bytes // align
         if self._slots < n_keys:
             raise ValueError("span too small for keyspace")
+        #: key -> (offset, size); placement is pure, so memoizing it turns
+        #: the per-get md5 into a dict hit after each key's first access.
+        self._placed = {}
 
     def locate(self, key):
         """(offset, size) of a key's record."""
+        placed = self._placed.get(key)
+        if placed is not None:
+            return placed
         if not 0 <= key < self.n_keys:
             raise KeyError(f"key out of range: {key}")
         slot = _stable_hash(key) % self._slots
-        return slot * self.align, self.value_size
+        placed = (slot * self.align, self.value_size)
+        self._placed[key] = placed
+        return placed
 
     def total_bytes(self):
         return self.n_keys * self.value_size

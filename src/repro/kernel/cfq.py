@@ -22,6 +22,11 @@ import bisect
 from repro.devices.request import IoClass
 from repro.kernel.scheduler import IOScheduler
 
+#: Iteration order of the three service trees (RT, then BE, then Idle).
+#: Hoisted: ``for cls in IoClass`` re-enters the enum metaclass on every
+#: dispatch, which shows up in hot-loop profiles.
+_IOCLASSES = tuple(IoClass)
+
 #: Extra dispatch credit per priority step; priority 0 gets the most.
 _BASE_QUANTUM = 1
 
@@ -83,8 +88,8 @@ class _Group:
     def __init__(self, group_id, weight):
         self.group_id = group_id
         self.weight = weight
-        self.trees = {cls: {} for cls in IoClass}
-        self.cursor = {cls: None for cls in IoClass}
+        self.trees = {cls: {} for cls in _IOCLASSES}
+        self.cursor = {cls: None for cls in _IOCLASSES}
         self.budget = 0
 
     # -- queue maintenance -------------------------------------------------
@@ -120,7 +125,7 @@ class _Group:
 
     # -- dispatch ------------------------------------------------------------
     def next_request(self):
-        for cls in IoClass:          # RT, then BE, then Idle
+        for cls in _IOCLASSES:       # RT, then BE, then Idle
             tree = self.trees[cls]
             if not tree:
                 continue
@@ -160,7 +165,7 @@ class _Group:
     # -- introspection -----------------------------------------------------
     def queued_requests(self):
         out = []
-        for cls in IoClass:
+        for cls in _IOCLASSES:
             for node in self.trees[cls].values():
                 out.extend(r for r in node.reqs if not r.cancelled)
         return out
@@ -168,7 +173,7 @@ class _Group:
     def requests_ahead_of(self, req):
         """IOs this group will dispatch before a new ``req`` of its own."""
         ahead = []
-        for cls in IoClass:
+        for cls in _IOCLASSES:
             if cls < req.ioclass:
                 for node in self.trees[cls].values():
                     ahead.extend(node.reqs)

@@ -62,6 +62,12 @@ class IOScheduler:
         self.bus.subscribe(IO_DISPATCH, self.stats.on_dispatch, source=self)
         self.bus.subscribe(IO_COMPLETE, self.stats.on_complete, source=self)
         self.bus.subscribe(IO_CANCEL, self.stats.on_cancel, source=self)
+        # Hoisted live subscriber lists (see TraceBus.channel): submit /
+        # dispatch / complete run per IO, so they iterate these directly.
+        self._submit_subs = self.bus.channel(IO_SUBMIT, self)
+        self._dispatch_subs = self.bus.channel(IO_DISPATCH, self)
+        self._complete_subs = self.bus.channel(IO_COMPLETE, self)
+        self._cancel_subs = self.bus.channel(IO_CANCEL, self)
 
     # -- legacy counters (derived from the bus-fed stats) --------------------
     @property
@@ -91,7 +97,8 @@ class IOScheduler:
         req.submit_time = self.sim.now
         self._enqueue(req)
         bus = self.bus
-        bus.emit(IO_SUBMIT, self, req)
+        for fn in self._submit_subs:
+            fn(req)
         if bus.recorder.active:
             bus.record(IO_SUBMIT,
                        dict(request_fields(req), dev=self._dev_label))
@@ -106,7 +113,8 @@ class IOScheduler:
         if self._remove(req):
             req.cancelled = True
             bus = self.bus
-            bus.emit(IO_CANCEL, self, req)
+            for fn in self._cancel_subs:
+                fn(req)
             if bus.recorder.active:
                 bus.record(IO_CANCEL,
                            dict(request_fields(req), dev=self._dev_label))
@@ -143,7 +151,8 @@ class IOScheduler:
             if req.cancelled:
                 continue
             bus = self.bus
-            bus.emit(IO_DISPATCH, self, req)
+            for fn in self._dispatch_subs:
+                fn(req)
             if bus.recorder.active:
                 bus.record(IO_DISPATCH,
                            dict(request_fields(req), dev=self._dev_label))
@@ -152,7 +161,8 @@ class IOScheduler:
 
     def _on_complete(self, req):
         bus = self.bus
-        bus.emit(IO_COMPLETE, self, req)
+        for fn in self._complete_subs:
+            fn(req)
         if bus.recorder.active:
             fields = request_fields(req)
             fields["latency"] = req.latency

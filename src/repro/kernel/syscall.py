@@ -113,6 +113,9 @@ class OS:
         self.bus.subscribe(OS_READ, self.stats.on_read, source=self)
         self.bus.subscribe(OS_WRITE, self.stats.on_write, source=self)
         self.bus.subscribe(OS_EBUSY, self.stats.on_ebusy, source=self)
+        # Hoisted live subscriber list (TraceBus.channel): one read per
+        # client IO makes OS_READ a hot emit site.
+        self._read_subs = self.bus.channel(OS_READ, self)
         if predictor is not None:
             predictor.attach(self)
 
@@ -153,7 +156,8 @@ class OS:
         """
         ev = self.sim.event()
         bus = self.bus
-        bus.emit(OS_READ, self)
+        for fn in self._read_subs:
+            fn()
         recording = bus.recorder.active
         if recording:
             bus.record(OS_READ, {"file": file_id, "offset": offset,

@@ -93,11 +93,20 @@ class MittNoop(Predictor):
         remaining = list(pool)
         t = 0.0
         cur = head
+        service_time = self.model.service_time
         while remaining:
-            nxt = min(remaining, key=lambda r: abs(r.offset - cur))
-            t += self.model.service_time(cur, nxt)
+            # Explicit nearest-offset scan (first wins on ties, like the
+            # min() it replaces) — this runs per admission decision, and
+            # the key-lambda allocation per round showed up in profiles.
+            best = 0
+            best_dist = abs(remaining[0].offset - cur)
+            for i in range(1, len(remaining)):
+                dist = abs(remaining[i].offset - cur)
+                if dist < best_dist:
+                    best, best_dist = i, dist
+            nxt = remaining.pop(best)
+            t += service_time(cur, nxt)
             cur = nxt.end_offset
-            remaining.remove(nxt)
         return t, cur
 
     def _tail_offset(self):

@@ -40,6 +40,13 @@
     guard-site crossings) against the wall-clock of the chaos replay
     scenario, with a generous safety factor.  ``--baseline`` adds an
     events/sec floor at 25% of the committed profile's throughput.
+
+``python -m repro.obs perfguard --trend [--speed BENCH_speed.json]``
+    Kernel-throughput trend gate: rerun the ``benchmarks/kernel_bench``
+    microbench suite, append the combined events/sec to the committed
+    ``BENCH_speed.json`` per-PR history, and fail when the fresh rate
+    falls below 75% of the committed ``floor_events_per_s`` — the CI
+    regression gate for the kernel speed rewrite's perf trajectory.
 """
 
 import argparse
@@ -320,6 +327,48 @@ def _throughput_floor(baseline, events, wall_s):
     return 0
 
 
+def perfguard_trend(speed_path="BENCH_speed.json", reps=3, label=None):
+    """Kernel microbench trend gate against the committed speed floor.
+
+    Reruns the ``benchmarks/kernel_bench`` suite, appends the result to
+    the committed per-PR history, and fails below 75% of the committed
+    ``floor_events_per_s``.  The floor itself carries a 4x hardware
+    cushion (see :mod:`repro.obs.kernelbench`), so this catches
+    order-of-magnitude hot-path regressions across heterogeneous CI
+    runners, not single-digit machine drift.
+    """
+    from repro.obs import kernelbench
+
+    result = kernelbench.run_suite(reps=reps)
+    label = label or kernelbench.git_label()
+    doc = kernelbench.load_speed(speed_path)
+    if doc is None:
+        # First run on this checkout: seed the trajectory and pass.
+        doc = kernelbench.update_speed(None, result, label)
+        doc["floor_events_per_s"] = round(
+            kernelbench.FLOOR_FRACTION * result["combined_events_per_s"], 1)
+        kernelbench.write_speed(speed_path, doc)
+        print(f"trend gate: no committed {speed_path} — trajectory seeded, "
+              "commit it to arm the gate")
+        print(kernelbench.render(result, doc))
+        return 0
+    doc = kernelbench.update_speed(doc, result, label)
+    kernelbench.write_speed(speed_path, doc)
+    rate = result["combined_events_per_s"]
+    floor = doc.get("floor_events_per_s", 0.0)
+    gate = kernelbench.TREND_GATE_FRACTION * floor
+    print(f"kernel bench trend: label={label}")
+    print(kernelbench.render(result, doc))
+    print(f"committed floor: {floor:,.0f} ev/s -> gate at {gate:,.0f} ev/s")
+    if floor and rate < gate:
+        print(f"trend gate: {rate:,.0f} ev/s below "
+              f"{kernelbench.TREND_GATE_FRACTION:.0%} of the committed "
+              "floor — FAIL", file=sys.stderr)
+        return 1
+    print("trend gate: OK")
+    return 0
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
@@ -379,6 +428,17 @@ def main(argv=None):
     p_perf.add_argument("--baseline", metavar="PATH", default=None,
                         help="committed BENCH_profile.json to hold an "
                              "events/sec floor against")
+    p_perf.add_argument("--trend", action="store_true",
+                        help="kernel microbench trend mode: rerun "
+                             "benchmarks/kernel_bench, append to the "
+                             "committed history, fail below 75%% of the "
+                             "committed floor")
+    p_perf.add_argument("--speed", metavar="PATH", default="BENCH_speed.json",
+                        help="committed BENCH_speed.json for --trend "
+                             "(default BENCH_speed.json)")
+    p_perf.add_argument("--reps", type=int, default=3,
+                        help="timed repetitions per microbench in --trend "
+                             "mode (default 3)")
     args = parser.parse_args(argv)
     if args.cmd == "summarize":
         return summarize(args.trace, top=args.top)
@@ -395,6 +455,8 @@ def main(argv=None):
         return diff(args.trace_a, args.trace_b, canonical=args.canonical)
     if args.cmd == "smoke":
         return smoke(seed=args.seed, validate=args.validate)
+    if args.trend:
+        return perfguard_trend(speed_path=args.speed, reps=args.reps)
     return perfguard(budget_pct=args.budget, baseline=args.baseline)
 
 

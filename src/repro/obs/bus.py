@@ -243,17 +243,37 @@ class TraceBus:
         Subscriptions are source-scoped: a consumer observing one
         scheduler never pays for (or hears) another scheduler's events.
         """
-        self._subs.setdefault((topic, source), []).append(fn)
+        self._subs.setdefault(topic, {}).setdefault(source, []).append(fn)
         return fn
 
     def unsubscribe(self, topic, fn, source=None):
-        subs = self._subs.get((topic, source))
+        subs = self._subs.get(topic, {}).get(source)
         if subs and fn in subs:
             subs.remove(fn)
 
+    def channel(self, topic, source=None):
+        """The live subscriber list for ``(topic, source)``.
+
+        Emit-site hoisting: the returned list is the very object
+        ``subscribe``/``unsubscribe`` mutate in place, so a hot emitter
+        may fetch it once and iterate it directly — skipping the two
+        per-emission dict lookups — while still seeing consumers that
+        come and go later.
+        """
+        return self._subs.setdefault(topic, {}).setdefault(source, [])
+
     def emit(self, topic, source, *args):
-        """Synchronously deliver to the (topic, source) subscribers."""
-        subs = self._subs.get((topic, source))
+        """Synchronously deliver to the (topic, source) subscribers.
+
+        The subscription table is nested (topic -> source -> [fns]) rather
+        than keyed by ``(topic, source)`` tuples: emit sits on the per-IO
+        hot path, and two small-dict lookups beat allocating and hashing a
+        fresh tuple per emission — unsubscribed topics bail on the first.
+        """
+        by_source = self._subs.get(topic)
+        if by_source is None:
+            return
+        subs = by_source.get(source)
         if subs:
             for fn in subs:
                 fn(*args)

@@ -2,16 +2,20 @@
 
 # repro: allow-file[DET002] measuring host wall-clock is this module's
 # entire purpose; nothing measured here ever feeds back into a simulation.
+# repro: allow-file[DET005] the profiled run loops are line-for-line
+# mirrors of Simulator.run/run_until/step with perf_counter reads added;
+# they pop the same heap with the same ordering rules.
 
 ROADMAP open item 1 asks *what dominates simulator wall-clock at scale* —
 scheduler-queue work, device service models, network hops, or strategy
 code.  The sim-time span attribution (``repro.metrics.breakdown``) cannot
 answer that: a stage can dominate simulated milliseconds while costing
 almost no host CPU, and vice versa.  :class:`ProfiledSimulator` measures
-the *host* side: it wraps every scheduled callback with a
-``time.perf_counter`` pair at scheduling time and buckets real elapsed
-seconds per callback site (module-qualified name), then rolls sites up
-into named stages by module prefix (:data:`STAGE_PREFIXES`).
+the *host* side: its run loops mirror the kernel's flattened loops and
+surround every executed callback with a ``time.perf_counter`` pair,
+bucketing real elapsed seconds per callback site (module-qualified
+name), then rolling sites up into named stages by module prefix
+(:data:`STAGE_PREFIXES`).
 
 Accounting identity — every measured host second lands in exactly one
 named bucket:
@@ -27,14 +31,15 @@ so attribution is exhaustive by construction and the CI gate
 guards against unmeasured work creeping in (e.g. a scenario running a
 second, unprofiled simulator for real work).
 
-The wrapper preserves behaviour: the callback runs with the same
-arguments at the same sim time, no RNG is drawn, and nothing is
+The instrumentation preserves behaviour: each callback runs with the
+same arguments at the same sim time, no RNG is drawn, and nothing is
 scheduled — so a profiled run computes bit-identical results to a plain
 one (asserted in ``tests/test_obs_profile.py``).  Host timings
 themselves are of course not deterministic; ``BENCH_profile.json`` is a
 benchmark artifact, not a golden.
 """
 
+import heapq
 import time
 
 from repro.sim.core import Simulator
@@ -88,9 +93,12 @@ class HostProfile:
         self.total_s = None
 
     def observe(self, fn, elapsed_s):
-        site = self.sites.get(callback_qualname(fn))
+        self.observe_site(callback_qualname(fn), elapsed_s)
+
+    def observe_site(self, qualname, elapsed_s):
+        site = self.sites.get(qualname)
         if site is None:
-            self.sites[callback_qualname(fn)] = [1, elapsed_s]
+            self.sites[qualname] = [1, elapsed_s]
         else:
             site[0] += 1
             site[1] += elapsed_s
@@ -184,53 +192,138 @@ class HostProfile:
 
 
 class ProfiledSimulator(Simulator):
-    """A :class:`Simulator` whose callbacks are host-time instrumented.
+    """A :class:`Simulator` whose run loops are host-time instrumented.
 
-    Behaviour-neutral: callbacks are wrapped, never altered, and the
-    wrapper touches no simulation state.  The cost is one closure per
-    scheduled event plus two ``perf_counter`` reads per executed one —
-    fine for profiling, which is the only place this class is used.
+    Earlier versions wrapped every scheduled callback in a timing
+    closure; that perturbs the measured system (one closure allocation
+    per schedule plus an extra call frame per event).  These loops
+    instead mirror the kernel's flattened ``run``/``run_until``/``step``
+    bodies and read ``perf_counter`` directly around each callback
+    invocation, so the probe cost is two clock reads and a dict bump per
+    executed event — and a profiled run is byte-identical to a plain one
+    even under paranoid trace hashing (the sanitizer sees the original
+    callbacks, not wrappers).
     """
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
         self.profile = HostProfile()
         self._loop_depth = 0
+        self._qualnames = {}
 
-    def schedule_at(self, at, fn, *args):
-        profile = self.profile
+    def _observe(self, fn, elapsed_s):
+        # Memoized per callback object: resolving the module-qualified
+        # name walks attributes, which is too slow to redo per event.
+        quals = self._qualnames
+        qual = quals.get(fn)
+        if qual is None:
+            qual = quals[fn] = callback_qualname(fn)
+        self.profile.observe_site(qual, elapsed_s)
 
-        def timed(*call_args):
-            start = time.perf_counter()
-            try:
-                fn(*call_args)
-            finally:
-                profile.observe(fn, time.perf_counter() - start)
-
-        return super().schedule_at(at, timed, *args)
-
-    def _timed_loop(self, call):
+    # -- instrumented mirrors of the kernel loops --------------------------
+    def step(self):
+        heap = self._heap
+        pop = heapq.heappop
+        perf = time.perf_counter
         self._loop_depth += 1
-        start = time.perf_counter()
+        loop_start = perf()
         try:
-            return call()
+            while heap:
+                time_, _tie, seq, handle = pop(heap)
+                if handle.cancelled:
+                    continue
+                self.now = time_
+                if self.sanitizer is not None:
+                    self.sanitizer.observe(time_, seq, handle.fn)
+                fn = handle.fn
+                start = perf()
+                try:
+                    fn(*handle.args)
+                finally:
+                    self._observe(fn, perf() - start)
+                if self._crashes:
+                    self._raise_crashes()
+                return True
+            return False
         finally:
-            elapsed = time.perf_counter() - start
+            elapsed = perf() - loop_start
             self._loop_depth -= 1
             if self._loop_depth == 0:
                 self.profile.loop_s += elapsed
 
-    def step(self):
-        return self._timed_loop(lambda: super(ProfiledSimulator, self).step())
-
     def run(self, until=None):
-        return self._timed_loop(
-            lambda: super(ProfiledSimulator, self).run(until=until))
+        heap = self._heap
+        pop = heapq.heappop
+        sanitizer = self.sanitizer
+        perf = time.perf_counter
+        self._loop_depth += 1
+        loop_start = perf()
+        try:
+            while heap:
+                entry = heap[0]
+                if entry[3].cancelled:
+                    pop(heap)
+                    continue
+                time_ = entry[0]
+                if until is not None and time_ > until:
+                    break
+                pop(heap)
+                handle = entry[3]
+                self.now = time_
+                if sanitizer is not None:
+                    sanitizer.observe(time_, entry[2], handle.fn)
+                fn = handle.fn
+                start = perf()
+                try:
+                    fn(*handle.args)
+                finally:
+                    self._observe(fn, perf() - start)
+                if self._crashes:
+                    self._raise_crashes()
+            if until is not None and self.now < until:
+                self.now = until
+        finally:
+            elapsed = perf() - loop_start
+            self._loop_depth -= 1
+            if self._loop_depth == 0:
+                self.profile.loop_s += elapsed
 
     def run_until(self, event, limit=None):
-        return self._timed_loop(
-            lambda: super(ProfiledSimulator, self).run_until(event,
-                                                             limit=limit))
+        heap = self._heap
+        pop = heapq.heappop
+        sanitizer = self.sanitizer
+        perf = time.perf_counter
+        self._loop_depth += 1
+        loop_start = perf()
+        try:
+            while not event._done:
+                while heap and heap[0][3].cancelled:
+                    pop(heap)
+                if not heap:
+                    break
+                entry = heap[0]
+                time_ = entry[0]
+                if limit is not None and time_ > limit:
+                    break
+                pop(heap)
+                handle = entry[3]
+                self.now = time_
+                if sanitizer is not None:
+                    sanitizer.observe(time_, entry[2], handle.fn)
+                fn = handle.fn
+                start = perf()
+                try:
+                    fn(*handle.args)
+                finally:
+                    self._observe(fn, perf() - start)
+                if self._crashes:
+                    self._raise_crashes()
+            return event._done
+        finally:
+            elapsed = perf() - loop_start
+            self._loop_depth -= 1
+            if self._loop_depth == 0:
+                self.profile.loop_s += elapsed
 
 
 def profile_scenario(scenario, seed=7, sim=None):

@@ -1,19 +1,35 @@
-"""The simulator: event heap, clock, and deterministic RNG streams."""
+"""The simulator: event heap, clock, and deterministic RNG streams.
+
+Hot-loop layout (the "sim-kernel speed rewrite"): the heap holds slim
+``(time, tie, seq, handle)`` tuples, so every heap comparison is a
+C-level tuple compare — ``seq`` is unique, so ordering never falls
+through to the :class:`Handle` payload and no Python ``__lt__`` runs on
+the hot path.  ``run()``/``run_until()`` inline the former ``step()``
+body with the heap, ``heappop`` and the sanitizer hoisted into locals,
+and the scheduling counter is a plain int.  None of this changes *what*
+executes: the sanitizer still observes the identical ``(time, seq,
+callback qualname)`` stream, which ``tests/test_kernel_equivalence.py``
+pins to pre-rewrite goldens.
+"""
 
 import hashlib
 import heapq
-import itertools
 import random
 
 from repro.errors import ProcessCrashed, SchedulingInPastError, SimulationError
 from repro.obs.bus import TraceBus, default_paranoid
-from repro.sim.events import AllOf, AnyOf, Event
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process
 from repro.sim.sanitizer import CountingRandom, ReplaySanitizer
 
 
 class Handle:
-    """A scheduled callback; :meth:`cancel` makes it a no-op."""
+    """A scheduled callback; :meth:`cancel` makes it a no-op.
+
+    The heap entry is the ``(time, tie, seq, handle)`` tuple, not the
+    handle itself; the handle carries the payload (callback + args) and
+    the cancellation flag the run loop checks on pop.
+    """
 
     __slots__ = ("time", "tie", "seq", "fn", "args", "cancelled")
 
@@ -33,8 +49,14 @@ class Handle:
         self.args = ()
 
     def __lt__(self, other):
-        return (self.time, self.tie, self.seq) < \
-            (other.time, other.tie, other.seq)
+        # Not used by the heap (tuple entries order on seq first); kept for
+        # code that sorts handles directly.  Direct field compares — no
+        # two-tuple allocation per comparison.
+        if self.time != other.time:
+            return self.time < other.time
+        if self.tie != other.tie:
+            return self.tie < other.tie
+        return self.seq < other.seq
 
 
 class ShuffledTies:
@@ -103,7 +125,7 @@ class Simulator:
         self.now = 0.0
         self.seed = seed
         self._heap = []
-        self._seq = itertools.count()
+        self._seq = 0
         self._tie_key = _tie_key_fn(tie_policy)
         self._rngs = {}
         self._crashes = []
@@ -126,17 +148,30 @@ class Simulator:
     # -- scheduling ---------------------------------------------------------
     def schedule(self, delay, fn, *args):
         """Run ``fn(*args)`` after ``delay`` microseconds."""
-        return self.schedule_at(self.now + delay, fn, *args)
+        now = self.now
+        time = now + delay
+        if time < now:
+            raise SchedulingInPastError(
+                f"schedule at {time} < now {now}")
+        seq = self._seq
+        self._seq = seq + 1
+        tie_key = self._tie_key
+        tie = seq if tie_key is None else tie_key(seq)
+        handle = Handle(time, tie, seq, fn, args)
+        heapq.heappush(self._heap, (time, tie, seq, handle))
+        return handle
 
     def schedule_at(self, time, fn, *args):
         """Run ``fn(*args)`` at absolute simulation time ``time``."""
         if time < self.now:
             raise SchedulingInPastError(
                 f"schedule at {time} < now {self.now}")
-        seq = next(self._seq)
-        tie = seq if self._tie_key is None else self._tie_key(seq)
+        seq = self._seq
+        self._seq = seq + 1
+        tie_key = self._tie_key
+        tie = seq if tie_key is None else tie_key(seq)
         handle = Handle(time, tie, seq, fn, args)
-        heapq.heappush(self._heap, handle)
+        heapq.heappush(self._heap, (time, tie, seq, handle))
         return handle
 
     # -- event factories ------------------------------------------------------
@@ -145,9 +180,14 @@ class Simulator:
         return Event(self)
 
     def timeout(self, delay, value=None):
-        """An event that succeeds after ``delay`` microseconds."""
-        ev = Event(self)
-        self.schedule(delay, ev.try_succeed, value)
+        """An event that succeeds after ``delay`` microseconds.
+
+        The returned event knows its own timer handle, so detaching the
+        last waiter (``Process.interrupt``) cancels the heap entry
+        instead of leaving a dead timer to fire into the void.
+        """
+        ev = Timeout(self)
+        ev._handle = self.schedule(delay, ev._fire, value)
         return ev
 
     def process(self, generator):
@@ -193,58 +233,103 @@ class Simulator:
     # -- execution -----------------------------------------------------------
     def step(self):
         """Run the next non-cancelled event; return False when drained."""
-        while self._heap:
-            handle = heapq.heappop(self._heap)
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            time, _tie, seq, handle = pop(heap)
             if handle.cancelled:
                 continue
-            self.now = handle.time
+            self.now = time
             if self.sanitizer is not None:
-                self.sanitizer.observe(handle.time, handle.seq, handle.fn)
+                self.sanitizer.observe(time, seq, handle.fn)
             handle.fn(*handle.args)
-            self._raise_crashes()
+            if self._crashes:
+                self._raise_crashes()
             return True
         return False
 
     def run(self, until=None):
         """Run until the heap drains or the clock passes ``until`` (µs)."""
-        while self._heap:
-            handle = self._heap[0]
-            if handle.cancelled:
-                heapq.heappop(self._heap)
+        heap = self._heap
+        pop = heapq.heappop
+        sanitizer = self.sanitizer
+        if until is None:
+            while heap:
+                time, _tie, seq, handle = pop(heap)
+                if handle.cancelled:
+                    continue
+                self.now = time
+                if sanitizer is not None:
+                    sanitizer.observe(time, seq, handle.fn)
+                handle.fn(*handle.args)
+                if self._crashes:
+                    self._raise_crashes()
+            return
+        while heap:
+            entry = heap[0]
+            if entry[3].cancelled:
+                pop(heap)
                 continue
-            if until is not None and handle.time > until:
+            time = entry[0]
+            if time > until:
                 break
-            heapq.heappop(self._heap)
-            self.now = handle.time
-            if self.sanitizer is not None:
-                self.sanitizer.observe(handle.time, handle.seq, handle.fn)
+            pop(heap)
+            handle = entry[3]
+            self.now = time
+            if sanitizer is not None:
+                sanitizer.observe(time, entry[2], handle.fn)
             handle.fn(*handle.args)
-            self._raise_crashes()
-        if until is not None and self.now < until:
+            if self._crashes:
+                self._raise_crashes()
+        if self.now < until:
             self.now = until
 
     def run_until(self, event, limit=None):
         """Run until ``event`` triggers (or the heap drains / clock passes
         ``limit``); returns whether the event triggered."""
-        while not event.triggered:
+        heap = self._heap
+        pop = heapq.heappop
+        sanitizer = self.sanitizer
+        while not event._done:
             # Purge cancelled entries first so the limit check below sees
             # the next event that would actually run.
-            while self._heap and self._heap[0].cancelled:
-                heapq.heappop(self._heap)
-            if limit is not None and self._heap and \
-                    self._heap[0].time > limit:
+            while heap and heap[0][3].cancelled:
+                pop(heap)
+            if not heap:
                 break
-            if not self.step():
+            entry = heap[0]
+            time = entry[0]
+            if limit is not None and time > limit:
                 break
-        return event.triggered
+            pop(heap)
+            handle = entry[3]
+            self.now = time
+            if sanitizer is not None:
+                sanitizer.observe(time, entry[2], handle.fn)
+            handle.fn(*handle.args)
+            if self._crashes:
+                self._raise_crashes()
+        return event._done
 
     # -- crash plumbing ---------------------------------------------------------
     def _report_crash(self, event, exc):
         self._crashes.append((event, exc))
 
     def defuse(self, event):
-        """Mark a failed event as handled (drop it from crash reporting)."""
-        self._crashes = [(ev, e) for ev, e in self._crashes if ev is not event]
+        """Mark a failed event as handled (drop it from crash reporting).
+
+        O(1) on the overwhelmingly common single-crash case (a process
+        defusing the one event it just observed fail); the rebuild only
+        happens when several crashes are pending at once.
+        """
+        crashes = self._crashes
+        if not crashes:
+            return
+        if len(crashes) == 1:
+            if crashes[0][0] is event:
+                crashes.clear()
+            return
+        self._crashes = [(ev, e) for ev, e in crashes if ev is not event]
 
     def _raise_crashes(self):
         if self._crashes:

@@ -1,0 +1,11 @@
+"""DET016 positive: per-event lambda allocation on the sim hot path.
+
+Lives under a ``sim/`` directory on purpose — the rule only applies to
+kernel hot-path code, where a closure per callback registration means a
+closure per executed event.
+"""
+
+
+def wire_children(parent, children, handler):
+    for i, ev in enumerate(children):
+        ev.add_callback(lambda ev, i=i: handler(i, ev))  # DET016

@@ -1,0 +1,14 @@
+"""DET016 negative: module-level lambdas and justified suppressions.
+
+A lambda defined once at import time is a constant, not per-event
+churn; an in-function lambda on a cold path may stay with an inline
+allow and a reason.
+"""
+
+_KEY = lambda handle: handle.seq  # noqa: E731 — defined once, no churn
+
+
+def wire_duplicates(children, handler):
+    for i, ev in enumerate(children):
+        # repro: allow[DET016] cold fallback: duplicate children only
+        ev.add_callback(lambda ev, i=i: handler(i, ev))

@@ -28,6 +28,7 @@ POSITIVE = {
     "det013_bad.py": "DET013",
     "cluster/det014_bad.py": "DET014",
     "det015_bad.py": "DET015",
+    "sim/det016_bad.py": "DET016",
 }
 
 #: fixture file -> rule ID that must NOT fire there.
@@ -48,6 +49,7 @@ NEGATIVE = {
     "det013_suppressed_ok.py": "DET013",
     "cluster/det014_suppressed_ok.py": "DET014",
     "det015_sorted_ok.py": "DET015",
+    "sim/det016_suppressed_ok.py": "DET016",
 }
 
 

@@ -1,0 +1,136 @@
+"""Kernel-equivalence goldens — the safety net under the speed rewrite.
+
+The sim-kernel hot loop (fused timeout fast path, flattened ``run()``,
+tuple heap entries) is pure mechanism: it must never change *what* a
+simulation computes, only how fast.  This suite pins that contract to
+goldens captured from the pre-refactor kernel: for each registered
+scenario x seed x tie-policy cell it asserts
+
+* the paranoid trace hash (every executed ``(time, seq, qualname)``
+  record) is byte-identical,
+* per-stream RNG draw counts match exactly, and
+* the canonical timeline digest (tie-insensitive grouped view shared
+  with ``repro.analysis races``) matches,
+
+including under ``ShuffledTies`` salts, so the rewrite cannot hide a
+behaviour change behind the FIFO tie-break.
+
+Regenerate (only for an *intentional* behaviour change, never to paper
+over a kernel-refactor diff)::
+
+    PYTHONPATH=src python tests/test_kernel_equivalence.py regen
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.races import _run_once
+
+GOLDENS_PATH = os.path.join(os.path.dirname(__file__), "fixtures",
+                            "kernel_goldens.json")
+
+#: (scenario id, seed, salt) cells; salt None = FIFO tie-break.
+CELLS = [
+    ("fig3", 7, None),
+    ("fig3", 7, 3),
+    ("fig3", 11, None),
+    ("chaos", 7, None),
+    ("chaos", 7, 1),
+    ("chaos", 7, 2),
+    ("chaos", 11, None),
+    ("slosweep", 7, None),
+    ("slosweep", 7, 5),
+]
+
+
+def _cell_key(scenario_id, seed, salt):
+    return f"{scenario_id}/seed={seed}/salt={salt}"
+
+
+def _capture(scenario_id, seed, salt):
+    """One cell's observable kernel behaviour, as a JSON-stable dict."""
+    from repro.experiments.registry import get_scenario
+
+    scenario = get_scenario(scenario_id)
+    run = _run_once(scenario, seed=seed, salt=salt)
+    return {
+        "canonical_digest": run.digest,
+        "bus_digest": run.bus_digest,
+        "rng_draws": run.rng_draws,
+        "events": len(run.ordered),
+    }
+
+
+def _capture_paranoid_hash(scenario_id, seed, salt):
+    """The raw sanitizer hash of one un-traced paranoid run."""
+    from repro.experiments.registry import get_scenario
+    from repro.sim import ShuffledTies, Simulator
+
+    policy = None if salt is None else ShuffledTies(salt)
+    sim = Simulator(seed=seed, paranoid=True, tie_policy=policy)
+    get_scenario(scenario_id)(sim)
+    sim.run()
+    return sim.trace_hash()
+
+
+def load_goldens():
+    with open(GOLDENS_PATH) as fh:
+        return json.load(fh)
+
+
+@pytest.fixture(scope="module")
+def goldens():
+    return load_goldens()
+
+
+@pytest.mark.parametrize("scenario_id,seed,salt", CELLS,
+                         ids=[_cell_key(*cell) for cell in CELLS])
+def test_kernel_matches_prerefactor_golden(goldens, scenario_id, seed, salt):
+    key = _cell_key(scenario_id, seed, salt)
+    want = goldens[key]
+    got = _capture(scenario_id, seed, salt)
+    assert got["events"] == want["events"], \
+        f"{key}: executed-event count drifted"
+    assert got["rng_draws"] == want["rng_draws"], \
+        f"{key}: per-stream RNG draw counts drifted"
+    assert got["canonical_digest"] == want["canonical_digest"], \
+        f"{key}: canonical timeline diverged from the pre-refactor kernel"
+    assert got["bus_digest"] == want["bus_digest"], \
+        f"{key}: raw TraceBus stream diverged"
+
+
+@pytest.mark.parametrize("scenario_id,seed,salt",
+                         [c for c in CELLS if c[2] is None],
+                         ids=[_cell_key(*c) for c in CELLS if c[2] is None])
+def test_paranoid_hash_matches_prerefactor_golden(goldens, scenario_id,
+                                                  seed, salt):
+    key = _cell_key(scenario_id, seed, salt)
+    want = goldens[key]["paranoid_hash"]
+    assert _capture_paranoid_hash(scenario_id, seed, salt) == want, \
+        f"{key}: paranoid (time, seq, qualname) trace hash diverged"
+
+
+def regen():
+    payload = {}
+    for scenario_id, seed, salt in CELLS:
+        key = _cell_key(scenario_id, seed, salt)
+        payload[key] = _capture(scenario_id, seed, salt)
+        if salt is None:
+            payload[key]["paranoid_hash"] = _capture_paranoid_hash(
+                scenario_id, seed, salt)
+        print(f"{key}: {payload[key]['canonical_digest']}")
+    with open(GOLDENS_PATH, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"[goldens -> {GOLDENS_PATH}]")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if len(sys.argv) > 1 and sys.argv[1] == "regen":
+        regen()
+    else:
+        print(__doc__)

@@ -91,8 +91,10 @@ def test_heap_tampering_raises_determinism_error():
     sim = Simulator(paranoid=True)
     sim.schedule(100, lambda: None)
     sim.step()
-    # Simulate the DET005 hazard: a foreign heap push into the past.
-    heapq.heappush(sim._heap, Handle(5.0, 999, 999, lambda: None, ()))
+    # Simulate the DET005 hazard: a foreign heap push into the past
+    # (heap entries are (time, tie, seq, handle) tuples).
+    handle = Handle(5.0, 999, 999, lambda: None, ())
+    heapq.heappush(sim._heap, (5.0, 999, 999, handle))
     with pytest.raises(DeterminismError):
         sim.run()
 

@@ -80,7 +80,7 @@ def test_interrupt_raises_inside_process(sim):
     proc.add_callback(lambda e: done_at.append(sim.now))
     sim.run()
     assert proc.value == "stopped:deadline"
-    assert done_at == [10]  # the abandoned timer fires later, harmlessly
+    assert done_at == [10]  # the abandoned timer is cancelled, not leaked
 
 
 def test_interrupt_after_completion_is_noop(sim):
@@ -141,3 +141,61 @@ def test_process_first_step_is_deferred(sim):
     proc.add_callback(lambda e: order.append("done"))
     sim.run()
     assert order == ["creator", "body", "done"]
+
+
+def test_interrupt_cancels_fused_timer_handle(sim):
+    """Regression: interrupting a plain-delay sleep must not leak the
+    scheduled timer.  The leak let the abandoned handle fire at the
+    original deadline — a spurious kernel event, and sim.now dragged
+    forward to a time nobody was waiting for."""
+    def gen():
+        try:
+            yield 1000
+        except Interrupt:
+            return "stopped"
+
+    proc = sim.process(gen())
+    sim.schedule(10, proc.interrupt)
+    sim.run()
+    assert proc.value == "stopped"
+    # A drained heap holds no live entry, and the clock never advanced
+    # to the dead timer's deadline.
+    assert sim.now == 10
+    assert all(entry[3].cancelled for entry in sim._heap)
+
+
+def test_interrupt_cancels_timeout_event_handle(sim):
+    """Same leak through the evented path: detaching the last waiter
+    from a Timeout cancels its heap entry too."""
+    def gen():
+        try:
+            yield sim.timeout(1000)
+        except Interrupt:
+            return "stopped"
+
+    proc = sim.process(gen())
+    sim.schedule(10, proc.interrupt)
+    sim.run()
+    assert proc.value == "stopped"
+    assert sim.now == 10
+    assert all(entry[3].cancelled for entry in sim._heap)
+
+
+def test_shared_timeout_survives_one_waiters_interrupt(sim):
+    """The detach-cancel is last-waiter-only: a timeout someone else
+    still waits on keeps its timer."""
+    fired = []
+    ev = sim.timeout(50)
+    ev.add_callback(lambda e: fired.append(sim.now))
+
+    def gen():
+        try:
+            yield ev
+        except Interrupt:
+            return "stopped"
+
+    proc = sim.process(gen())
+    sim.schedule(10, proc.interrupt)
+    sim.run()
+    assert proc.value == "stopped"
+    assert fired == [50]

@@ -169,7 +169,7 @@ def test_race_timer_is_cancelled_when_the_event_wins(sim):
     strategy = make_strategy("base", env.cluster)  # default 30 s timeout
     ev = _get(sim, strategy, 1)
     assert ev.value is not EIO
-    pending = [h.time for h in sim._heap if not h.cancelled]
+    pending = [time for time, _tie, _seq, h in sim._heap if not h.cancelled]
     assert all(t < 1 * SEC for t in pending), pending
 
 
