@@ -29,9 +29,14 @@ error.  This pass checks both ends against the declared contracts in
     it under that guard).  Reads that no topic can be attributed to are
     skipped, not guessed.
 
-Dead topics (declared but never emitted anywhere in the linted program)
-are reported as *warnings*, not findings: on a partial file set they mean
-"emitter not in view", which is not an error.
+``DETW01`` (warning level)
+    a dead topic: declared in the schema registry but never emitted
+    anywhere in the linted program.  Only reported when the registry
+    module itself (``repro.obs.schema``) is in the linted file set —
+    linting a partial tree (one package, a fixture) just means "emitter
+    not in view", which is not a finding.  Each finding anchors at the
+    topic constant's declaration line so the suppression and baseline
+    machinery have a real location to bind to.
 
 Only payload-shaped receivers are treated as event-field reads: a name
 ``fields`` / ``*_fields`` or an attribute ``.fields`` — the naming
@@ -424,13 +429,26 @@ def _check_reads(facts, findings):
                     "emitter and this consumer have drifted apart"))
 
 
-def analyze_eventflow(files):
-    """Run DET011-DET013 over ``[(path, path_parts, tree), ...]``.
+def _registry_anchor(files):
+    """(path, {topic: (line, col)}) of the schema registry module if it
+    is part of the linted program, else (None, {})."""
+    from repro.analysis.callgraph import module_name_of
+    for path, parts, tree in files:
+        if module_name_of(parts) != "repro.obs.schema":
+            continue
+        anchors = {}
+        for node in tree.body:
+            if isinstance(node, ast.Assign) and \
+                    isinstance(node.value, ast.Constant) and \
+                    isinstance(node.value.value, str):
+                anchors[node.value.value] = (node.lineno, node.col_offset)
+        return str(path), anchors
+    return None, {}
 
-    Returns ``(findings, warnings)``: findings as
-    ``(rule, path, line, col, message)`` tuples, warnings as plain
-    strings (dead topics — declared but never emitted in these files).
-    """
+
+def analyze_eventflow(files):
+    """Run DET011-DET013 + DETW01 over ``[(path, path_parts, tree), ...]``;
+    returns raw ``(rule, path, line, col, message)`` tuples."""
     findings = []
     emitted = set()
     for path, _parts, tree in files:
@@ -440,9 +458,15 @@ def analyze_eventflow(files):
                            emitted)
         facts = _ModuleEventFacts(path, tree, table)
         _check_reads(facts, findings)
-    warnings = [
-        f"dead topic '{topic}': declared in repro.obs.schema but never "
-        "emitted in the linted files"
-        for topic in SCHEMAS if topic not in emitted
-    ]
-    return findings, warnings
+    registry_path, anchors = _registry_anchor(files)
+    if registry_path is not None:
+        for topic in SCHEMAS:
+            if topic in emitted:
+                continue
+            line, col = anchors.get(topic, (1, 0))
+            findings.append((
+                "DETW01", registry_path, line, col,
+                f"dead topic '{topic}': declared in repro.obs.schema but "
+                "never emitted in the linted program — delete the schema "
+                "entry or lint the emitter alongside it"))
+    return findings

@@ -1,0 +1,450 @@
+"""Shard-isolation rules DET017-DET021 + the shard manifest.
+
+Consumes the ownership model of :mod:`repro.analysis.ownership` and
+proves (or refutes) the property the sharded-cluster runner needs: *no
+simulated state crosses a shard-domain boundary except through a
+sanctioned edge*.  The sanctioned edges are the ones the manifest
+records — ``Network.send`` (one network hop of lookahead), the SLO
+control lane (one controller window of lookahead), the trace plane
+(merge-after, no lookahead needed), and per-shard private copies of the
+sim kernel and frozen-declared shared state.
+
+``DET017`` cross-shard-mutation
+    non-wiring code mutates state owned by another runtime domain (or
+    frozen-declared shared state) — an attribute write or container
+    mutation whose receiver chain resolves to a foreign owner, including
+    a peer node reached through a cluster-owned container.
+``DET018`` unsanctioned-foreign-read
+    node-domain code on the IO path reads cluster-shared *mutable* state
+    directly (attribute access or method call) instead of through a
+    sanctioned boundary; frozen-declared state (placement tables) and
+    analysis-only observers are exempt.
+``DET019`` foreign-domain-rng-stream
+    a named RNG stream whose owner package belongs to another runtime
+    domain — generalizes DET006/DET014 from package ownership to shard
+    ownership (``cluster/node.py`` is *node*-domain even though its path
+    satisfies DET006 for ``cluster/...`` streams).
+``DET020`` cross-timeline-callback
+    non-wiring code schedules a callback bound to another runtime
+    domain's object — in a sharded run that event belongs on the other
+    shard's timeline and must arrive as a network message instead.
+``DET021`` multi-domain-module-global
+    a mutable module-level global in a runtime-domain file with no
+    ownership declaration: module globals are per-process, so sharding
+    silently forks them.  Declare the owner
+    (``# repro: owner[node]`` — per-shard by design) or freeze it
+    (``# repro: owner[sim-kernel:frozen]``); the finding names every
+    runtime domain that can reach the module, because two reaching
+    domains means two shards would see diverging copies.
+
+Wiring methods (``__init__``, ``arm``, ``attach``, ...) are exempt from
+DET017/DET018/DET020: composition is where cross-domain references are
+*installed*; the contract binds the steady state.
+"""
+
+import ast
+
+from repro.analysis.callgraph import module_name_of
+from repro.analysis.ownership import (DOMAIN_ANALYSIS, DOMAIN_CLUSTER,
+                                      DOMAIN_HARNESS, DOMAIN_NODE,
+                                      DOMAIN_SIM, OwnershipModel,
+                                      RUNTIME_DOMAINS, WIRING_METHODS,
+                                      Evaluator, stream_domain)
+from repro.analysis.rules import (CONTAINER_MUTATORS, SCHEDULE_METHODS,
+                                  _is_mutable_default, _stream_literal)
+
+ISOLATION_RULES = frozenset({
+    "DET017", "DET018", "DET019", "DET020", "DET021",
+})
+
+#: Method names that ARE the sanctioned boundaries: calling one of these
+#: on a foreign-domain object is how state legitimately crosses shards
+#: (network RPC, trace emission, metrics observation).
+SANCTIONED_CALLS = frozenset({
+    "send", "emit", "record", "observe",
+})
+
+#: Domains whose code the crossing rules check (the shards themselves).
+_CHECKED_DOMAINS = frozenset({DOMAIN_NODE, DOMAIN_CLUSTER})
+
+
+def check_isolation(program):
+    """Run DET017-DET021 over loaded ProgramFiles; returns raw
+    ``(rule, path, line, col, message)`` tuples (suppressions are the
+    linter's job)."""
+    model = OwnershipModel.build(program)
+    raw = []
+    for path in sorted(model.files):
+        _check_file(model, path, raw)
+    _check_module_globals(model, raw)
+    return raw
+
+
+# -- per-function crossing checks (DET017/018/019/020) -----------------------
+
+def _check_file(model, path, raw):
+    domain = model.domain_of(path)
+    if domain not in _CHECKED_DOMAINS:
+        return
+    tree = model.files[path][1]
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            _check_function(model, path, domain, node, None, raw)
+        elif isinstance(node, ast.ClassDef):
+            for sub in node.body:
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    _check_function(model, path, domain, sub, node.name,
+                                    raw)
+
+
+def _check_function(model, path, domain, fn_node, class_name, raw):
+    wiring = fn_node.name in WIRING_METHODS
+    _key, env = model.function_env(path, fn_node, class_name)
+    evaluator = Evaluator(model, path)
+    seen = set()
+
+    def emit(rule, node, message):
+        site = (rule, node.lineno, node.col_offset)
+        if site not in seen:
+            seen.add(site)
+            raw.append((rule, path, node.lineno, node.col_offset, message))
+
+    def handle(stmt):
+        # Bindings first, so later statements see them.
+        if isinstance(stmt, ast.Assign):
+            value_own = evaluator.eval(stmt.value, env)
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and value_own is not None:
+                    env[target.id] = value_own
+                elif isinstance(target, ast.Attribute) and not wiring:
+                    _check_mutation(target.value, stmt, "assigns "
+                                    + _render_target(target))
+        elif isinstance(stmt, ast.AugAssign) and \
+                isinstance(stmt.target, ast.Attribute) and not wiring:
+            _check_mutation(stmt.target.value, stmt,
+                            "assigns " + _render_target(stmt.target))
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iter_own = evaluator.eval(stmt.iter, env)
+            if iter_own is not None and iter_own.container and \
+                    isinstance(stmt.target, ast.Name):
+                env[stmt.target.id] = iter_own.element()
+        for expr in _statement_exprs(stmt):
+            scan_expr(expr)
+        for child in _child_statements(stmt):
+            handle(child)
+
+    def _check_mutation(base_expr, site, what):
+        owns = evaluator.chain_owns(base_expr, env)
+        resolved = [o for o in owns if o is not None]
+        if not resolved:
+            return
+        foreign = next((o.domain for o in resolved
+                        if o.domain in RUNTIME_DOMAINS
+                        and o.domain != domain), None)
+        target = resolved[-1]
+        if target.domain in (DOMAIN_ANALYSIS, DOMAIN_HARNESS):
+            return
+        if foreign is not None:
+            emit("DET017", site,
+                 f"{domain}-domain code {what} through state owned by "
+                 f"the {foreign} domain — cross-shard mutation; route it "
+                 "through Network.send or a sanctioned control edge")
+        elif any(o.frozen for o in resolved):
+            emit("DET017", site,
+                 f"{domain}-domain code {what} on frozen-declared shared "
+                 "state — frozen objects are copied per shard and must "
+                 "not be written after wiring")
+
+    def scan_expr(root):
+        call_funcs = {id(n.func) for n in ast.walk(root)
+                      if isinstance(n, ast.Call)}
+        for node in ast.walk(root):
+            if isinstance(node, ast.Call):
+                scan_call(node)
+            elif isinstance(node, ast.Attribute) and \
+                    isinstance(node.ctx, ast.Load) and \
+                    id(node) not in call_funcs and not wiring:
+                _check_read(node, node.value, node.attr)
+
+    def scan_call(node):
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        # DET019: foreign-domain RNG stream (literal or f-string prefix).
+        if func.attr == "rng" and node.args:
+            stream = _stream_literal(node.args[0])
+            owner = stream_domain(stream) if stream else None
+            if owner is not None and owner in RUNTIME_DOMAINS and \
+                    owner != domain:
+                emit("DET019", node,
+                     f"rng stream '{stream}' belongs to the {owner} "
+                     f"domain but this file is {domain}-domain — each "
+                     "shard owns its generator set; draw a stream named "
+                     "for this domain's packages instead")
+            return
+        # DET020: callback bound to a foreign domain's object.
+        if func.attr in SCHEDULE_METHODS and not wiring:
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                if not isinstance(arg, ast.Attribute):
+                    continue
+                base = evaluator.eval(arg.value, env)
+                if base is not None and base.domain in _CHECKED_DOMAINS \
+                        and base.domain != domain:
+                    emit("DET020", node,
+                         f"{func.attr}() with callback {_render_target(arg)}"
+                         f" bound to a {base.domain}-domain object — that "
+                         "event belongs on the other shard's timeline; "
+                         "deliver it as a network message instead")
+        # DET017: container mutation through a foreign chain.
+        if func.attr in CONTAINER_MUTATORS and not wiring:
+            _check_mutation(func.value, node,
+                            f"calls .{func.attr}() "
+                            f"on {_render_target(func)[:-len(func.attr) - 1]}")
+        # DET018: method call on foreign cluster-shared mutable state.
+        if not wiring:
+            _check_read(node, func.value, func.attr, is_call=True)
+
+    def _check_read(site, base_expr, attr, is_call=False):
+        if domain != DOMAIN_NODE:
+            return  # the read rule binds the node IO path
+        if is_call and attr in SANCTIONED_CALLS:
+            return
+        base = evaluator.eval(base_expr, env)
+        if base is None or base.domain != DOMAIN_CLUSTER or base.frozen:
+            return
+        kind = f"calls .{attr}() on" if is_call else f"reads .{attr} of"
+        emit("DET018", site,
+             f"node-domain code {kind} cluster-shared mutable state — "
+             "on the IO path this must arrive through a sanctioned "
+             "boundary (Network.send, control lane) or the state must "
+             "be declared frozen")
+
+    for stmt in fn_node.body:
+        handle(stmt)
+
+
+def _render_target(node):
+    """Best-effort dotted rendering of an attribute chain for messages."""
+    parts = []
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        if isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+        else:
+            parts.append("[...]")
+        node = node.value
+    parts.append(node.id if isinstance(node, ast.Name) else "<expr>")
+    out = []
+    for part in reversed(parts):
+        if part == "[...]":
+            out[-1] += "[...]"
+        else:
+            out.append(part)
+    return ".".join(out)
+
+
+def _statement_exprs(stmt):
+    """Expression roots directly attached to one statement (nested
+    statement bodies are handled by the recursive statement walk)."""
+    exprs = []
+    for _field, value in ast.iter_fields(stmt):
+        if isinstance(value, ast.expr):
+            exprs.append(value)
+        elif isinstance(value, list):
+            exprs.extend(v for v in value if isinstance(v, ast.expr))
+            exprs.extend(v.context_expr for v in value
+                         if isinstance(v, ast.withitem))
+    return exprs
+
+
+def _child_statements(stmt):
+    blocks = []
+    for field in ("body", "orelse", "finalbody"):
+        blocks.extend(getattr(stmt, field, ()) or ())
+    for handler in getattr(stmt, "handlers", ()) or ():
+        blocks.extend(handler.body)
+    return [s for s in blocks if isinstance(s, ast.stmt)]
+
+
+# -- DET021: undeclared module globals ---------------------------------------
+
+def _check_module_globals(model, raw):
+    for path in sorted(model.files):
+        domain = model.domain_of(path)
+        if domain not in RUNTIME_DOMAINS or model.file_frozen(path):
+            continue
+        tree = model.files[path][1]
+        pragmas = model.owner_pragmas[path]
+        for node in tree.body:
+            targets, value = _global_assign(node)
+            if value is None or not _is_mutable_default(value):
+                continue
+            if all(t.startswith("__") and t.endswith("__")
+                   for t in targets):
+                continue  # __all__ and friends: import machinery, not state
+            if node.lineno in pragmas:
+                continue  # ownership declared on the assignment line
+            reach = sorted(model.reachable_domains(path) & RUNTIME_DOMAINS)
+            name = targets[0] if targets else "<target>"
+            raw.append((
+                "DET021", path, node.lineno, node.col_offset,
+                f"mutable module global '{name}' in a {domain}-domain "
+                f"module reachable from domain(s) {', '.join(reach)} — "
+                "module globals fork silently across shard processes; "
+                "declare an owner (# repro: owner[...]) or freeze it"))
+
+
+def _global_assign(node):
+    """(names, value) of a module-level assignment, else ([], None)."""
+    if isinstance(node, ast.Assign):
+        names = [t.id for t in node.targets if isinstance(t, ast.Name)]
+        return names, node.value if names else None
+    if isinstance(node, ast.AnnAssign) and \
+            isinstance(node.target, ast.Name) and node.value is not None:
+        return [node.target.id], node.value
+    return [], None
+
+
+# -- the shard manifest ------------------------------------------------------
+
+def build_manifest(program):
+    """The partition plan the sharded-cluster runner will consume:
+    per-domain class lists, sanctioned cross-domain edges, and the
+    minimum simulated latency each edge guarantees (the conservative
+    lookahead each shard may run ahead without synchronizing)."""
+    model = OwnershipModel.build(program)
+    by_domain = model.classes_by_domain()
+
+    def classes(domain):
+        return sorted(f"{module}.{name}"
+                      for name, module in by_domain.get(domain, []))
+
+    frozen_shared = sorted(
+        f"{module_name_of(model.files[path][0])}.{name}"
+        for (path, name), own in model.class_domain.items() if own.frozen)
+
+    hop_us = _init_default(model, "repro.cluster.network", "Network",
+                           "hop_us", 300.0)
+    window_us = _init_default(model, "repro.slo_control.controller",
+                              "SloController", "window_us", 250000.0)
+
+    node_classes = classes(DOMAIN_NODE)
+    # Two representative node shards: every node(i) is isomorphic (same
+    # class set, private instances); the runner instantiates one per
+    # simulated replica group.
+    domains = [
+        {"name": "node(0)", "kind": DOMAIN_NODE, "replicated": True,
+         "classes": node_classes},
+        {"name": "node(1)", "kind": DOMAIN_NODE, "replicated": True,
+         "classes": node_classes},
+        {"name": "cluster", "kind": DOMAIN_CLUSTER,
+         "classes": classes(DOMAIN_CLUSTER)},
+        {"name": "sim-kernel", "kind": DOMAIN_SIM,
+         "note": "instantiated privately inside every shard process",
+         "classes": classes(DOMAIN_SIM)},
+        {"name": "analysis-only", "kind": DOMAIN_ANALYSIS,
+         "note": "trace-fed observers; merged post-hoc, never read back "
+                 "on the IO path",
+         "classes": classes(DOMAIN_ANALYSIS)},
+    ]
+    edges = [
+        {"src": "node(0)", "dst": "node(1)",
+         "boundary": "Network.send (replica RPC)",
+         "min_latency_us": hop_us,
+         "why": "every inter-node message pays >= one network hop, so "
+                "each node shard may run hop_us ahead before syncing"},
+        {"src": "cluster", "dst": "node(0)",
+         "boundary": "Network.send (RPC dispatch)",
+         "min_latency_us": hop_us,
+         "why": "client/strategy requests reach a node as messages"},
+        {"src": "node(0)", "dst": "cluster",
+         "boundary": "Network.send (RPC completion / EBUSY verdict)",
+         "min_latency_us": hop_us,
+         "why": "completions and fast-reject verdicts return as messages"},
+        {"src": "cluster", "dst": "node(0)",
+         "boundary": "AdmissionGuard.set_level (SLO control lane)",
+         "min_latency_us": window_us,
+         "why": "the controller acts once per decision window, so level "
+                "changes tolerate a full window of lookahead"},
+        {"src": "node(0)", "dst": "analysis-only",
+         "boundary": "TraceBus.record (trace plane)",
+         "min_latency_us": 0.0,
+         "why": "observers merge after the fact; no lookahead required"},
+        {"src": "cluster", "dst": "analysis-only",
+         "boundary": "TraceBus.record / metrics registry",
+         "min_latency_us": 0.0,
+         "why": "observers merge after the fact; no lookahead required"},
+        {"src": "node(0)", "dst": "sim-kernel",
+         "boundary": "Simulator.schedule + named per-domain RNG streams",
+         "min_latency_us": 0.0,
+         "why": "each shard embeds a private kernel; no cross-process "
+                "traffic"},
+        {"src": "cluster", "dst": "sim-kernel",
+         "boundary": "Simulator.schedule + named per-domain RNG streams",
+         "min_latency_us": 0.0,
+         "why": "each shard embeds a private kernel; no cross-process "
+                "traffic"},
+    ]
+    return {
+        "version": 1,
+        "lookahead_us": hop_us,
+        "domains": domains,
+        "edges": edges,
+        "frozen_shared": [
+            {"class": cls,
+             "policy": "copied into every shard at wiring time; "
+                       "DET017 rejects post-wiring writes"}
+            for cls in frozen_shared],
+    }
+
+
+def _init_default(model, module, class_name, param, fallback):
+    """The default value of one ``__init__`` keyword parameter, read from
+    the AST (handles plain constants and ``N * UNIT`` expressions); falls
+    back when the class is not in the linted set."""
+    path = model.by_module.get(module)
+    if path is None:
+        return fallback
+    tree = model.files[path][1]
+    for node in tree.body:
+        if not (isinstance(node, ast.ClassDef) and node.name == class_name):
+            continue
+        for sub in node.body:
+            if not (isinstance(sub, ast.FunctionDef)
+                    and sub.name == "__init__"):
+                continue
+            args = sub.args.args
+            defaults = sub.args.defaults
+            offset = len(args) - len(defaults)
+            for i, arg in enumerate(args):
+                if arg.arg == param and i >= offset:
+                    value = _const_value(defaults[i - offset])
+                    if value is not None:
+                        return value
+    return fallback
+
+
+_UNIT_VALUES = {"NS": 0.001, "US": 1.0, "MS": 1000.0, "SEC": 1_000_000.0,
+                "MINUTE": 60_000_000.0, "HOUR": 3_600_000_000.0}
+
+
+def _const_value(node):
+    if isinstance(node, ast.Constant) and \
+            isinstance(node.value, (int, float)) and \
+            not isinstance(node.value, bool):
+        return float(node.value)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mult):
+        left = _factor(node.left)
+        right = _factor(node.right)
+        if left is not None and right is not None:
+            return left * right
+    return None
+
+
+def _factor(node):
+    if isinstance(node, ast.Constant) and \
+            isinstance(node.value, (int, float)) and \
+            not isinstance(node.value, bool):
+        return float(node.value)
+    name = node.attr if isinstance(node, ast.Attribute) else \
+        node.id if isinstance(node, ast.Name) else None
+    return _UNIT_VALUES.get(name)

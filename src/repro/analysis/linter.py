@@ -2,12 +2,20 @@
 
 Two layers of rules run over every lint invocation:
 
-* **per-file** rules (``DET001``-``DET010``) — one AST checker per file,
-  embarrassingly parallel (``jobs=N`` fans them out across processes);
-* **whole-program** rules (``DET011``-``DET015``) — the event-flow
-  contract pass (:mod:`repro.analysis.eventflow`) and the
-  interprocedural effect pass (:mod:`repro.analysis.effects`), which
-  need every file's AST at once and always run in the parent process.
+* **per-file** rules (``DET001``-``DET010``, ``DET016``) — one AST
+  checker per file, embarrassingly parallel;
+* **whole-program** rules (``DET011``-``DET015``, ``DET017``-``DET021``,
+  ``DETW01``) — the event-flow contract pass
+  (:mod:`repro.analysis.eventflow`), the interprocedural effect pass
+  (:mod:`repro.analysis.effects`), and the shard-isolation pass
+  (:mod:`repro.analysis.isolation`), each of which needs every file's
+  AST at once.
+
+``jobs=N`` fans *both* layers out across a process pool: each per-file
+check is one task, and each whole-program pass is one task (a pass is
+indivisible, but the three passes are independent of each other).  The
+merged output is sorted, so results are byte-identical at any job
+count.
 
 Both layers share the suppression grammar (``# repro: allow[DET00X]``
 line pragmas, ``# repro: allow-file[...]`` in the first five lines) and
@@ -24,10 +32,15 @@ from pathlib import Path
 
 from repro.analysis.rules import CHECKERS, RULES, ModuleContext
 
-#: Rules that need the whole file set (no per-file checker in CHECKERS).
-PROGRAM_RULES = frozenset({
-    "DET011", "DET012", "DET013", "DET014", "DET015",
-})
+#: Rules that need the whole file set (no per-file checker in CHECKERS),
+#: grouped by the independent pass that computes them.
+PROGRAM_PASS_RULES = {
+    "eventflow": frozenset({"DET011", "DET012", "DET013", "DETW01"}),
+    "effects": frozenset({"DET014", "DET015"}),
+    "isolation": frozenset({"DET017", "DET018", "DET019", "DET020",
+                            "DET021"}),
+}
+PROGRAM_RULES = frozenset().union(*PROGRAM_PASS_RULES.values())
 
 #: ``# repro: allow[DET001]`` or ``# repro: allow[DET001,DET003] reason``.
 _ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Z0-9,\s]+)\]")
@@ -153,53 +166,71 @@ def _per_file_findings(pf, rules=None):
     return _filter(pf, raw, rules)
 
 
-def _program_findings(program, rules=None):
-    """DET011-DET015 over the whole file set; returns
-    ``(findings, warnings)``.  Imported lazily so the per-file half has
-    no dependency on ``repro.obs``."""
-    want = PROGRAM_RULES if rules is None else set(rules) & PROGRAM_RULES
-    if not want:
-        return [], []
+def _run_program_pass(pass_name, program, want):
+    """Raw ``(rule, path, line, col, message)`` tuples of one
+    whole-program pass.  Passes are imported lazily so the per-file half
+    has no dependency on ``repro.obs``."""
     parsed = [(pf.path, pf.path_parts, pf.tree)
               for pf in program if pf.tree is not None]
-    by_path = {pf.path: pf for pf in program}
-    raw, warnings = [], []
-    if want & {"DET011", "DET012", "DET013"}:
+    if pass_name == "eventflow":
         from repro.analysis.eventflow import analyze_eventflow
-        flow, warnings = analyze_eventflow(parsed)
-        raw.extend(flow)
-    if want & {"DET014", "DET015"}:
+        return analyze_eventflow(parsed)
+    if pass_name == "effects":
         from repro.analysis.effects import (EffectAnalysis, check_det014,
                                             check_det015)
         analysis = EffectAnalysis.build(parsed)
+        raw = []
         if "DET014" in want:
             raw.extend(check_det014(analysis))
         if "DET015" in want:
             raw.extend(check_det015(analysis))
+        return raw
+    if pass_name == "isolation":
+        from repro.analysis.isolation import check_isolation
+        return check_isolation(program)
+    raise ValueError(f"unknown program pass: {pass_name}")
+
+
+def _wanted_passes(rules):
+    want = PROGRAM_RULES if rules is None else set(rules) & PROGRAM_RULES
+    return want, [name for name, owned in sorted(PROGRAM_PASS_RULES.items())
+                  if owned & want]
+
+
+def _filter_raw(raw, by_path, rules):
+    """Route raw program-pass tuples through each file's suppressions."""
     findings = []
     for rule_id, path, line, col, message in raw:
         pf = by_path[path]
         findings.extend(_filter(pf, [(rule_id, line, col, message)], rules))
-    return findings, warnings
+    return findings
+
+
+def _program_findings(program, rules=None):
+    """All whole-program rules over the file set, suppressions applied."""
+    want, passes = _wanted_passes(rules)
+    raw = []
+    for pass_name in passes:
+        raw.extend(_run_program_pass(pass_name, program, want))
+    by_path = {pf.path: pf for pf in program}
+    return _filter_raw(raw, by_path, rules)
 
 
 def lint_program(program, rules=None):
-    """Both rule layers over loaded :class:`ProgramFile`\\ s; returns
-    ``(findings, warnings)`` with findings in deterministic order."""
+    """Both rule layers over loaded :class:`ProgramFile`\\ s, in
+    deterministic order."""
     findings = []
     for pf in program:
         findings.extend(_per_file_findings(pf, rules=rules))
-    program_findings, warnings = _program_findings(program, rules=rules)
-    findings.extend(program_findings)
+    findings.extend(_program_findings(program, rules=rules))
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
-    return findings, warnings
+    return findings
 
 
 def lint_source(source, path, rules=None):
     """Lint one source string as if it lived at ``path`` (treated as a
     one-file program, so the whole-program rules run too)."""
-    findings, _ = lint_program([ProgramFile(source, path)], rules=rules)
-    return findings
+    return lint_program([ProgramFile(source, path)], rules=rules)
 
 
 def lint_file(path, rules=None):
@@ -220,41 +251,63 @@ def iter_python_files(paths):
                 yield candidate
 
 
-def _parallel_worker(args):
-    """Per-file stage of one worker process (module-level: picklable)."""
-    path, rules = args
-    return _per_file_findings(ProgramFile.load(path),
-                              rules=set(rules) if rules else None)
+def _parallel_worker(task):
+    """One pool task (module-level: picklable).  Two task shapes:
+
+    ``("file", path, rules)`` — per-file rules of one file; returns the
+    already-filtered :class:`Finding` list.
+    ``("pass", name, paths, rules)`` — one whole-program pass; reloads
+    the program from disk and returns *raw* tuples (the parent applies
+    suppressions, which need each file's pragma tables).
+    """
+    kind = task[0]
+    if kind == "file":
+        _, path, rules = task
+        return _per_file_findings(ProgramFile.load(path),
+                                  rules=set(rules) if rules else None)
+    _, pass_name, paths, rules = task
+    program = [ProgramFile.load(p) for p in paths]
+    want, _passes = _wanted_passes(set(rules) if rules else None)
+    return _run_program_pass(pass_name, program, want)
 
 
 def lint_paths_program(paths, rules=None, jobs=1):
-    """Lint every ``.py`` file under ``paths``; returns
-    ``(findings, warnings)``.
+    """Lint every ``.py`` file under ``paths``.
 
-    ``jobs > 1`` fans the per-file rules out over a process pool; the
-    whole-program rules always run in the parent (they need every AST at
-    once).  Output is deterministic regardless of ``jobs``.
+    ``jobs > 1`` fans out over a process pool: one task per file for the
+    per-file rules plus one task per whole-program pass (eventflow /
+    effects / isolation — each pass needs every AST, but the passes are
+    independent of each other).  Program passes are queued first so the
+    slowest tasks start immediately.  The merged output is sorted, so it
+    is byte-identical at any job count.
     """
     files = list(iter_python_files(paths))
     if jobs and jobs > 1 and len(files) > 1:
         import multiprocessing
-        with multiprocessing.Pool(min(jobs, len(files))) as pool:
-            per_file = pool.map(
-                _parallel_worker,
-                [(str(p), sorted(rules) if rules else None)
-                 for p in files])
-        findings = [f for batch in per_file for f in batch]
-        program = [ProgramFile.load(p) for p in files]
-        program_findings, warnings = _program_findings(program, rules=rules)
-        findings.extend(program_findings)
+        rule_arg = sorted(rules) if rules else None
+        path_args = tuple(str(p) for p in files)
+        _want, passes = _wanted_passes(rules)
+        tasks = [("pass", name, path_args, rule_arg) for name in passes]
+        tasks += [("file", p, rule_arg) for p in path_args]
+        with multiprocessing.Pool(min(jobs, len(tasks))) as pool:
+            results = pool.map(_parallel_worker, tasks)
+        findings = []
+        raw = []
+        for task, result in zip(tasks, results):
+            if task[0] == "file":
+                findings.extend(result)
+            else:
+                raw.extend(result)
+        by_path = {p: ProgramFile.load(p) for p in path_args}
+        findings.extend(_filter_raw(raw, by_path, rules))
         findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
-        return findings, warnings
+        return findings
     return lint_program([ProgramFile.load(p) for p in files], rules=rules)
 
 
 def lint_paths(paths, rules=None):
     """Lint every ``.py`` file under the given files/directories."""
-    return lint_paths_program(paths, rules=rules)[0]
+    return lint_paths_program(paths, rules=rules)
 
 
 # -- baselines ---------------------------------------------------------------
@@ -318,7 +371,9 @@ def _sarif(findings):
             }},
             "results": [{
                 "ruleId": f.rule,
-                "level": "error" if f.rule == "DET000" else "warning",
+                "level": "error" if f.rule == "DET000"
+                         else "note" if f.rule.startswith("DETW")
+                         else "warning",
                 "message": {"text": f.message},
                 "locations": [{"physicalLocation": {
                     "artifactLocation": {

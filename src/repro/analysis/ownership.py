@@ -1,0 +1,694 @@
+"""Whole-program ownership inference: which shard domain owns what.
+
+The sharded-cluster mode on the ROADMAP (independent replica groups in
+separate processes, synchronized at the network-hop boundary) is only
+safe if every piece of simulated state has exactly one owner domain and
+all cross-domain traffic flows through a sanctioned boundary.  This
+module computes the ownership side of that proof; the rules that consume
+it live in :mod:`repro.analysis.isolation`.
+
+Domain lattice
+--------------
+
+Every linted file — and through it every class, attribute, parameter and
+return value — is assigned one of five domains:
+
+``node``
+    state private to one storage node: OS, scheduler, device, engine,
+    cache, predictor, admission guard.  In a sharded run each ``node(i)``
+    is (part of) one process.
+``cluster``
+    state shared across the whole cluster: placement (KeySpace), the
+    network, replica health, strategies, the SLO controller, the fault
+    plane.  In a sharded run this is the coordinator side of the
+    300 µs-lookahead boundary.
+``sim-kernel``
+    the substrate every shard gets a private copy of: Simulator, events,
+    processes, the TraceBus, named RNG streams.
+``analysis-only``
+    observers fed by the trace plane (metrics, accuracy, profiling,
+    analysis itself) — merged post-hoc, never read back by simulation
+    code on the IO path.
+``harness``
+    composition roots (experiments, benchmarks, examples, tests): code
+    that legitimately wires every domain together at setup time and is
+    therefore exempt from crossing checks.
+
+Seeding + declarations
+----------------------
+
+File domains are seeded from the package layout (`PACKAGE_DOMAINS` /
+`FILE_DOMAINS`) and may be overridden in-source with a
+``# repro: domain[node]`` pragma in the file's first five lines
+(``domain[cluster:frozen]`` additionally marks every class in the file
+immutable-after-wiring, so cross-domain *reads* of it are sanctioned).
+Individual attributes may be declared on their assignment line:
+``self.fault_plane = None  # repro: owner[cluster]``.
+
+Propagation
+-----------
+
+From those seeds a fixpoint propagates ownership through the program
+the way the wiring actually flows: ``self.attr = <expr>`` assignments,
+constructor call arguments (``StorageNode(sim, nid, os_, engine)`` binds
+the ``os`` parameter to the node-domain ``OS`` built two lines up),
+function/method returns (``build_disk_node`` returns a ``StorageNode``,
+``Cluster.node`` returns an element of the node-domain ``nodes``
+container), and container round-trips (list literals, comprehensions,
+``list()``/``sorted()`` pass-through, subscripting).  Conflicting
+domains join to an explicit ``"?"`` (unknown) sink, so the rules only
+ever fire on accesses whose ownership is unambiguous.
+"""
+
+import ast
+import re
+
+from repro.analysis.callgraph import module_name_of
+
+# -- the domain lattice ------------------------------------------------------
+
+DOMAIN_NODE = "node"
+DOMAIN_CLUSTER = "cluster"
+DOMAIN_SIM = "sim-kernel"
+DOMAIN_ANALYSIS = "analysis-only"
+DOMAIN_HARNESS = "harness"
+#: Value types that cross shard boundaries *by copy* (requests, fault
+#: specs, trace events): tagging one at its construction site is not a
+#: cross-shard mutation, because the receiving shard gets its own copy
+#: inside the network message.  Declared per class with
+#: ``# repro: owner[message]``.
+DOMAIN_MESSAGE = "message"
+#: The conflict sink: joined from two different domains.
+DOMAIN_UNKNOWN = "?"
+
+DOMAINS = frozenset({DOMAIN_NODE, DOMAIN_CLUSTER, DOMAIN_SIM,
+                     DOMAIN_ANALYSIS, DOMAIN_HARNESS, DOMAIN_MESSAGE})
+
+#: Domains that hold *simulated* state a sharded run must partition.
+RUNTIME_DOMAINS = frozenset({DOMAIN_NODE, DOMAIN_CLUSTER, DOMAIN_SIM})
+
+#: Default domain per package directory (overridden by FILE_DOMAINS and
+#: in-source ``# repro: domain[...]`` pragmas).
+PACKAGE_DOMAINS = {
+    "sim": DOMAIN_SIM,
+    "kernel": DOMAIN_NODE,
+    "devices": DOMAIN_NODE,
+    "engines": DOMAIN_NODE,
+    "mittos": DOMAIN_NODE,
+    "extensions": DOMAIN_NODE,
+    "cluster": DOMAIN_CLUSTER,
+    "faults": DOMAIN_CLUSTER,
+    "workloads": DOMAIN_CLUSTER,
+    "slo_control": DOMAIN_CLUSTER,
+    "metrics": DOMAIN_ANALYSIS,
+    "analysis": DOMAIN_ANALYSIS,
+    "obs": DOMAIN_ANALYSIS,
+    "experiments": DOMAIN_HARNESS,
+    "examples": DOMAIN_HARNESS,
+    "benchmarks": DOMAIN_HARNESS,
+    "tests": DOMAIN_HARNESS,
+}
+
+#: Per-file refinements inside a package: (package dir, file name).
+FILE_DOMAINS = {
+    ("cluster", "node.py"): DOMAIN_NODE,        # StorageNode is per-node
+    ("slo_control", "admission.py"): DOMAIN_NODE,  # guard sits in OS.read
+    ("obs", "bus.py"): DOMAIN_SIM,              # per-simulator TraceBus
+    ("obs", "events.py"): DOMAIN_SIM,
+    ("obs", "schema.py"): DOMAIN_SIM,
+    ("obs", "spans.py"): DOMAIN_SIM,            # span helpers run in-path
+}
+
+#: RNG stream owner package -> domain (generalizes DET006 to shard
+#: domains; a slash-less stream has no owner and is skipped).
+STREAM_PACKAGE_DOMAINS = {
+    package: PACKAGE_DOMAINS[package]
+    for package in ("sim", "kernel", "devices", "engines", "mittos",
+                    "extensions", "cluster", "faults", "workloads",
+                    "slo_control", "metrics", "analysis", "obs",
+                    "experiments")
+}
+
+#: Method names treated as the wiring phase: cross-domain writes here
+#: are how shards get *built* (constructor wiring, FaultPlane.arm,
+#: AdmissionGuard.attach); the isolation contract binds the steady
+#: state, not the composition phase.
+WIRING_METHODS = frozenset({
+    "__init__", "arm", "attach", "install", "wire", "guard_nodes",
+    "build",
+})
+
+_DOMAIN_RE = re.compile(
+    r"#\s*repro:\s*domain\[([a-z?-]+?)(:frozen)?\]")
+_OWNER_RE = re.compile(
+    r"#\s*repro:\s*owner\[([a-z?-]+?)(:frozen)?\]")
+_PRAGMA_WINDOW = 5
+
+#: Builtins that return their (only) argument's contents unchanged for
+#: ownership purposes.
+_PASSTHROUGH_CALLS = frozenset({"list", "sorted", "tuple", "iter",
+                                "reversed"})
+
+
+class Own:
+    """Ownership of one value: domain + (when known) its class."""
+
+    __slots__ = ("domain", "cls", "frozen", "container", "declared")
+
+    def __init__(self, domain, cls=None, frozen=False, container=False,
+                 declared=False):
+        self.domain = domain
+        self.cls = cls          # (path, ClassName) key, or None
+        self.frozen = frozen
+        self.container = container
+        self.declared = declared
+
+    def __eq__(self, other):
+        return (isinstance(other, Own)
+                and self.domain == other.domain and self.cls == other.cls
+                and self.frozen == other.frozen
+                and self.container == other.container
+                and self.declared == other.declared)
+
+    def __repr__(self):
+        tag = "".join([":frozen" if self.frozen else "",
+                       "[]" if self.container else "",
+                       "!" if self.declared else ""])
+        cls = self.cls[1] if self.cls else "-"
+        return f"Own({self.domain}{tag} {cls})"
+
+    def element(self):
+        """Ownership of one element of a container value."""
+        return Own(self.domain, self.cls, self.frozen, container=False)
+
+
+UNKNOWN = Own(DOMAIN_UNKNOWN)
+
+
+def join(a, b):
+    """Lattice join: no-info < concrete domain < unknown (conflict).
+
+    A ``declared`` ownership (in-source pragma) is absolute: it wins
+    every join instead of collapsing to the conflict sink.
+    """
+    if a is None:
+        return b
+    if b is None:
+        return a
+    if a.declared:
+        return a
+    if b.declared:
+        return b
+    if a.domain != b.domain:
+        return UNKNOWN
+    return Own(a.domain,
+               a.cls if a.cls == b.cls else None,
+               a.frozen and b.frozen,
+               a.container or b.container)
+
+
+def _file_pragma(source):
+    """(domain, frozen) from a first-5-lines domain pragma, or None."""
+    for text in source.splitlines()[:_PRAGMA_WINDOW]:
+        match = _DOMAIN_RE.search(text)
+        if match:
+            return match.group(1), bool(match.group(2))
+    return None
+
+
+def _line_owner_pragmas(source):
+    """Line number -> (domain, frozen) for ``# repro: owner[...]``.
+
+    Same binding grammar as the linter's ``allow`` pragma: a trailing
+    comment declares its own line, a comment line of its own declares
+    the next code line (multi-line justification comments work)."""
+    owners = {}
+    lines = source.splitlines()
+    for lineno, text in enumerate(lines, start=1):
+        match = _OWNER_RE.search(text)
+        if not match:
+            continue
+        target = lineno
+        if text[:match.start()].strip() == "":
+            target = lineno + 1
+            while target <= len(lines):
+                stripped = lines[target - 1].strip()
+                if stripped and not stripped.startswith("#"):
+                    break
+                target += 1
+        owners[target] = (match.group(1), bool(match.group(2)))
+    return owners
+
+
+def file_domain(path_parts, source=""):
+    """(domain, frozen) of one file, from pragma / table / package."""
+    pragma = _file_pragma(source) if source else None
+    if pragma is not None:
+        return pragma
+    parts = tuple(path_parts)
+    name = parts[-1] if parts else ""
+    # Innermost directory wins: a fixture tree under tests/ that mirrors
+    # package layout (tests/fixtures/lint/cluster/...) gets the package's
+    # domain, exactly like the per-file rules' path-part scoping.
+    for package in reversed(parts):
+        if (package, name) in FILE_DOMAINS:
+            return FILE_DOMAINS[(package, name)], False
+    for package in reversed(parts):
+        if package in PACKAGE_DOMAINS:
+            return PACKAGE_DOMAINS[package], False
+    return DOMAIN_HARNESS, False
+
+
+def stream_domain(stream):
+    """Owning domain of a named RNG stream, or None (no owner prefix)."""
+    if "/" not in stream:
+        return None
+    return STREAM_PACKAGE_DOMAINS.get(stream.split("/", 1)[0])
+
+
+# -- per-file symbol resolution ----------------------------------------------
+
+class _FileSymbols:
+    """Classes, functions, and project imports visible in one file."""
+
+    def __init__(self, path, tree):
+        self.path = str(path)
+        self.classes = {}        # local name -> class key (this file)
+        self.functions = {}      # local name -> function key (this file)
+        self.methods = {}        # class name -> {method -> func key}
+        self.init_params = {}    # class key -> [param names] (minus self)
+        self.func_params = {}    # func key -> [param names]
+        self.from_imports = {}   # local alias -> (module, attr)
+        for node in tree.body:
+            if isinstance(node, ast.ClassDef):
+                key = (self.path, node.name)
+                self.classes[node.name] = key
+                methods = {}
+                for sub in node.body:
+                    if isinstance(sub, (ast.FunctionDef,
+                                        ast.AsyncFunctionDef)):
+                        mkey = (self.path, f"{node.name}.{sub.name}")
+                        methods[sub.name] = mkey
+                        self.func_params[mkey] = \
+                            [a.arg for a in sub.args.args[1:]]
+                        if sub.name == "__init__":
+                            self.init_params[key] = \
+                                [a.arg for a in sub.args.args[1:]]
+                self.methods[node.name] = methods
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                key = (self.path, node.name)
+                self.functions[node.name] = key
+                self.func_params[key] = [a.arg for a in node.args.args]
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module and \
+                    node.module.split(".")[0] == "repro":
+                for alias in node.names:
+                    self.from_imports[alias.asname or alias.name] = \
+                        (node.module, alias.name)
+
+
+# -- the model ---------------------------------------------------------------
+
+class OwnershipModel:
+    """Ownership tables over one linted program, propagated to fixpoint."""
+
+    MAX_ITERATIONS = 12
+
+    def __init__(self):
+        self.files = {}          # path -> (path_parts, tree, source)
+        self.domains = {}        # path -> (domain, frozen)
+        self.symbols = {}        # path -> _FileSymbols
+        self.by_module = {}      # dotted module -> path
+        self.class_domain = {}   # class key -> Own
+        self.attr = {}           # (class key, attr) -> Own
+        self.param = {}          # (func key, param) -> Own
+        self.ret = {}            # func key -> Own
+        self.owner_pragmas = {}  # path -> {lineno: (domain, frozen)}
+        self.imports = {}        # path -> set of imported paths
+        self._reachable = None   # path -> frozenset of reaching domains
+        self._changed = False
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def build(cls, program):
+        """Build from loaded :class:`~repro.analysis.linter.ProgramFile`
+        objects (anything with ``path``/``path_parts``/``tree``/``source``
+        attributes; files that failed to parse are skipped)."""
+        model = cls()
+        for pf in program:
+            if pf.tree is None:
+                continue
+            path = str(pf.path)
+            model.files[path] = (tuple(pf.path_parts), pf.tree, pf.source)
+            model.domains[path] = file_domain(pf.path_parts, pf.source)
+            model.symbols[path] = _FileSymbols(path, pf.tree)
+            model.by_module[module_name_of(pf.path_parts)] = path
+            model.owner_pragmas[path] = _line_owner_pragmas(pf.source)
+        model._seed_classes()
+        model._collect_imports()
+        for _ in range(cls.MAX_ITERATIONS):
+            model._changed = False
+            for path in sorted(model.files):
+                model._scan_file(path)
+            if not model._changed:
+                break
+        return model
+
+    def _seed_classes(self):
+        for path in sorted(self.files):
+            domain, frozen = self.domains[path]
+            tree = self.files[path][1]
+            pragmas = self.owner_pragmas[path]
+            for node in tree.body:
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                cls_domain, cls_frozen = domain, frozen
+                pragma = pragmas.get(node.lineno)
+                if pragma is not None:
+                    cls_domain, cls_frozen = pragma
+                self.class_domain[(path, node.name)] = Own(
+                    cls_domain, (path, node.name), frozen=cls_frozen,
+                    declared=pragma is not None)
+
+    def _collect_imports(self):
+        for path in sorted(self.files):
+            tree = self.files[path][1]
+            imported = set()
+            for node in ast.walk(tree):
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        imported.add(alias.name)
+                elif isinstance(node, ast.ImportFrom) and node.module:
+                    imported.add(node.module)
+                    for alias in node.names:
+                        # `from repro.x import y` may bind module y.
+                        imported.add(f"{node.module}.{alias.name}")
+            self.imports[path] = {
+                self.by_module[m] for m in imported if m in self.by_module}
+
+    # -- lookups -----------------------------------------------------------
+    def domain_of(self, path):
+        return self.domains.get(str(path), (DOMAIN_HARNESS, False))[0]
+
+    def file_frozen(self, path):
+        return self.domains.get(str(path), (DOMAIN_HARNESS, False))[1]
+
+    def resolve_class(self, path, name):
+        """Class key a bare name refers to in ``path``, or None."""
+        sym = self.symbols.get(path)
+        if sym is None:
+            return None
+        if name in sym.classes:
+            return sym.classes[name]
+        target = sym.from_imports.get(name)
+        if target is not None:
+            module, attr = target
+            other = self.by_module.get(module)
+            if other is not None:
+                osym = self.symbols[other]
+                if attr in osym.classes:
+                    return osym.classes[attr]
+                reexport = osym.from_imports.get(attr)
+                if reexport is not None:
+                    module2 = self.by_module.get(reexport[0])
+                    if module2 is not None:
+                        osym2 = self.symbols[module2]
+                        if reexport[1] in osym2.classes:
+                            return osym2.classes[reexport[1]]
+        return None
+
+    def resolve_function(self, path, name):
+        """Function key a bare name refers to in ``path``, or None."""
+        sym = self.symbols.get(path)
+        if sym is None:
+            return None
+        if name in sym.functions:
+            return sym.functions[name]
+        target = sym.from_imports.get(name)
+        if target is not None:
+            module, attr = target
+            other = self.by_module.get(module)
+            if other is not None:
+                osym = self.symbols[other]
+                if attr in osym.functions:
+                    return osym.functions[attr]
+        return None
+
+    def class_own(self, key):
+        return self.class_domain.get(key)
+
+    def _update(self, table, key, own):
+        if own is None:
+            return
+        current = table.get(key)
+        if current is not None and current.declared:
+            return
+        merged = join(current, own)
+        if merged != current:
+            table[key] = merged
+            self._changed = True
+
+    # -- the propagation scan ----------------------------------------------
+    def _scan_file(self, path):
+        tree = self.files[path][1]
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._scan_function(path, node, None)
+            elif isinstance(node, ast.ClassDef):
+                for sub in node.body:
+                    if isinstance(sub, (ast.FunctionDef,
+                                        ast.AsyncFunctionDef)):
+                        self._scan_function(path, sub, node.name)
+
+    def function_env(self, path, fn_node, class_name):
+        """Initial env of one function: self + known parameter domains."""
+        qual = fn_node.name if class_name is None \
+            else f"{class_name}.{fn_node.name}"
+        key = (path, qual)
+        env = {}
+        args = fn_node.args.args
+        if class_name is not None and args and \
+                args[0].arg in ("self", "cls"):
+            cls_key = (path, class_name)
+            own = self.class_domain.get(cls_key)
+            if own is not None:
+                env[args[0].arg] = Own(own.domain, cls_key,
+                                       frozen=own.frozen)
+            args = args[1:]
+        for arg in args:
+            own = self.param.get((key, arg.arg))
+            if own is not None:
+                env[arg.arg] = own
+        return key, env
+
+    def _scan_function(self, path, fn_node, class_name):
+        key, env = self.function_env(path, fn_node, class_name)
+        evaluator = Evaluator(self, path)
+        pragmas = self.owner_pragmas[path]
+
+        def handle(stmt):
+            if isinstance(stmt, ast.Assign):
+                value_own = evaluator.eval(stmt.value, env)
+                pragma = pragmas.get(stmt.lineno)
+                if pragma is not None:
+                    value_own = Own(pragma[0], frozen=pragma[1],
+                                    declared=True)
+                for target in stmt.targets:
+                    self._bind_target(target, value_own, env, path,
+                                      class_name)
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                value_own = evaluator.eval(stmt.value, env)
+                self._bind_target(stmt.target, value_own, env, path,
+                                  class_name)
+            elif isinstance(stmt, ast.Return) and stmt.value is not None:
+                self._update(self.ret, key,
+                             evaluator.eval(stmt.value, env))
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                iter_own = evaluator.eval(stmt.iter, env)
+                if iter_own is not None and iter_own.container and \
+                        isinstance(stmt.target, ast.Name):
+                    env[stmt.target.id] = iter_own.element()
+            # Constructor / function calls anywhere in the statement bind
+            # argument ownership to the callee's parameters.
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Call):
+                    self._bind_call(node, env, evaluator, path)
+            for child in _child_statements(stmt):
+                handle(child)
+
+        for stmt in fn_node.body:
+            handle(stmt)
+
+    def _bind_target(self, target, own, env, path, class_name):
+        if isinstance(target, ast.Name):
+            if own is not None:
+                env[target.id] = own
+            return
+        if not isinstance(target, ast.Attribute):
+            return
+        base = target.value
+        if isinstance(base, ast.Name):
+            base_own = env.get(base.id)
+            if base_own is not None and base_own.cls is not None:
+                self._update(self.attr, (base_own.cls, target.attr), own)
+
+    def _bind_call(self, call, env, evaluator, path):
+        params = None
+        target_key = None
+        if isinstance(call.func, ast.Name):
+            cls_key = self.resolve_class(path, call.func.id)
+            if cls_key is not None:
+                sym = self.symbols[cls_key[0]]
+                params = sym.init_params.get(cls_key)
+                target_key = (cls_key[0],
+                              f"{cls_key[1]}.__init__")
+            else:
+                fn_key = self.resolve_function(path, call.func.id)
+                if fn_key is not None:
+                    params = self.symbols[fn_key[0]].func_params.get(fn_key)
+                    target_key = fn_key
+        if params is None or target_key is None:
+            return
+        for i, arg in enumerate(call.args):
+            if isinstance(arg, ast.Starred) or i >= len(params):
+                break
+            self._update(self.param, (target_key, params[i]),
+                         evaluator.eval(arg, env))
+        for kw in call.keywords:
+            if kw.arg is not None and kw.arg in params:
+                self._update(self.param, (target_key, kw.arg),
+                             evaluator.eval(kw.value, env))
+
+    # -- import reachability (DET021) --------------------------------------
+    def reachable_domains(self, path):
+        """Domains whose files (transitively) import ``path``, plus the
+        file's own domain."""
+        if self._reachable is None:
+            reach = {p: {self.domain_of(p)} for p in self.files}
+            changed = True
+            while changed:
+                changed = False
+                for importer in sorted(self.files):
+                    for imported in sorted(self.imports[importer]):
+                        missing = reach[importer] - reach[imported]
+                        if missing:
+                            reach[imported].update(missing)
+                            changed = True
+            self._reachable = {p: frozenset(d) for p, d in reach.items()}
+        return self._reachable.get(str(path), frozenset())
+
+    # -- reporting ---------------------------------------------------------
+    def classes_by_domain(self):
+        """{domain: sorted [(ClassName, module)]} over the whole program."""
+        out = {}
+        for (path, name), own in sorted(self.class_domain.items()):
+            module = module_name_of(self.files[path][0])
+            out.setdefault(own.domain, []).append((name, module))
+        return out
+
+
+def _child_statements(stmt):
+    """Nested statement blocks of one statement, in source order."""
+    blocks = []
+    for field in ("body", "orelse", "finalbody"):
+        blocks.extend(getattr(stmt, field, ()) or ())
+    for handler in getattr(stmt, "handlers", ()) or ():
+        blocks.extend(handler.body)
+    return [s for s in blocks if isinstance(s, ast.stmt)]
+
+
+class Evaluator:
+    """Expression -> :class:`Own`, under one file's symbol tables."""
+
+    def __init__(self, model, path):
+        self.model = model
+        self.path = str(path)
+
+    def eval(self, expr, env):
+        """Ownership of ``expr``'s value, or None when not resolvable."""
+        model = self.model
+        if isinstance(expr, ast.Name):
+            return env.get(expr.id)
+        if isinstance(expr, ast.Attribute):
+            base = self.eval(expr.value, env)
+            if base is not None and base.cls is not None:
+                return model.attr.get((base.cls, expr.attr))
+            return None
+        if isinstance(expr, ast.Subscript):
+            base = self.eval(expr.value, env)
+            if base is not None and base.container:
+                return base.element()
+            return None
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr, env)
+        if isinstance(expr, ast.BoolOp):
+            own = None
+            for value in expr.values:
+                own = join(own, self.eval(value, env))
+            return own
+        if isinstance(expr, ast.IfExp):
+            return join(self.eval(expr.body, env),
+                        self.eval(expr.orelse, env))
+        if isinstance(expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            elt = self.eval(expr.elt, env)
+            if elt is not None and elt.domain != DOMAIN_UNKNOWN:
+                return Own(elt.domain, elt.cls, elt.frozen, container=True)
+            return None
+        if isinstance(expr, (ast.List, ast.Tuple, ast.Set)):
+            elt = None
+            for item in expr.elts:
+                elt = join(elt, self.eval(item, env))
+            if elt is not None and elt.domain != DOMAIN_UNKNOWN:
+                return Own(elt.domain, elt.cls, elt.frozen, container=True)
+            return None
+        return None
+
+    def _eval_call(self, call, env):
+        model = self.model
+        func = call.func
+        if isinstance(func, ast.Name):
+            if func.id in _PASSTHROUGH_CALLS and len(call.args) == 1:
+                return self.eval(call.args[0], env)
+            cls_key = model.resolve_class(self.path, func.id)
+            if cls_key is not None:
+                own = model.class_own(cls_key)
+                if own is not None:
+                    return Own(own.domain, cls_key, frozen=own.frozen)
+                return None
+            fn_key = model.resolve_function(self.path, func.id)
+            if fn_key is not None:
+                return model.ret.get(fn_key)
+            return None
+        if isinstance(func, ast.Attribute):
+            base = self.eval(func.value, env)
+            if base is not None and base.cls is not None:
+                mpath, mcls = base.cls
+                method_key = (mpath, f"{mcls}.{func.attr}")
+                return model.ret.get(method_key)
+        return None
+
+    def chain_owns(self, expr, env):
+        """Ownerships along an attribute/subscript/call chain, outermost
+        last — ``self.cluster.nodes[i].os`` yields the Own of ``self``,
+        ``.cluster``, ``.nodes``, ``[i]``, ``.os`` (unresolvable steps
+        are None).  The rules use this to see *how* an access reached its
+        target, e.g. a peer node reached through a cluster container."""
+        steps = []
+        node = expr
+        while True:
+            if isinstance(node, ast.Attribute):
+                steps.append(node)
+                node = node.value
+            elif isinstance(node, ast.Subscript):
+                steps.append(node)
+                node = node.value
+            elif isinstance(node, ast.Call):
+                steps.append(node)
+                node = node.func
+            else:
+                steps.append(node)
+                break
+        owns = []
+        for step in reversed(steps):
+            owns.append(self.eval(step, env))
+        return owns

@@ -50,6 +50,9 @@ def canonical_line(event, volatile=VOLATILE_FIELDS):
         fields, sort_keys=True, separators=(",", ":"), default=_plain)
 
 # -- session defaults (what `--trace` / `--paranoid` install) ----------------
+# Host-session configuration, not simulated state: every shard process
+# installs its own copy at harness setup before any simulator exists.
+# repro: owner[sim-kernel] per-process session defaults
 _defaults = {"recorder": None, "paranoid": False}
 
 

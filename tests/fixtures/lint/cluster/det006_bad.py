@@ -8,4 +8,4 @@ def sample_drop(sim):
 
 
 def sample_storm(sim, node):
-    return sim.rng(f"devices/storm/{node}").random()
+    return sim.rng(f"workloads/storm/{node}").random()

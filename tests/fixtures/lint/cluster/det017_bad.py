@@ -1,0 +1,14 @@
+"""DET017 positive: cluster code mutates a node-owned object in steady
+state (outside the wiring phase)."""
+
+
+class Router:
+    def __init__(self, primary):
+        # repro: owner[node] the primary replica's kernel-side scheduler
+        self.sched = primary
+
+    def steal(self, req):
+        self.sched.queue.append(req)         # DET017: container mutation
+
+    def throttle(self, depth):
+        self.sched.max_inflight = depth      # DET017: attribute write

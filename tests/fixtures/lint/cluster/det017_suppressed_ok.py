@@ -1,0 +1,13 @@
+"""DET017 negative: wiring-phase installs and justified suppressions."""
+
+
+class Router:
+    def __init__(self, primary):
+        # repro: owner[node] the primary replica's kernel-side scheduler
+        self.sched = primary
+        # Wiring methods may install cross-domain references freely.
+        self.sched.router = self
+
+    def steal(self, req):
+        # repro: allow[DET017] single-process mode only, gated upstream
+        self.sched.queue.append(req)

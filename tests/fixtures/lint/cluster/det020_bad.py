@@ -1,0 +1,10 @@
+"""DET020 positive: cluster code schedules a node-owned callback."""
+
+
+class Mirror:
+    def __init__(self, replica):
+        # repro: owner[node] the replica's kernel-side flusher
+        self.replica = replica
+
+    def arm_flush(self, sim, delay_us):
+        sim.schedule_in(delay_us, self.replica.flush)    # DET020

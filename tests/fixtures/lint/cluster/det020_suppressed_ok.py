@@ -1,0 +1,19 @@
+"""DET020 negative: own-domain callbacks, wiring, and an allow."""
+
+
+class Mirror:
+    def __init__(self, sim, replica):
+        # repro: owner[node] the replica's kernel-side flusher
+        self.replica = replica
+        # Wiring may arm the initial cross-domain timer.
+        sim.schedule_in(0.0, self.replica.flush)
+
+    def rearm(self, sim, delay_us):
+        sim.schedule_in(delay_us, self.tick)     # own method: fine
+
+    def tick(self):
+        pass
+
+    def force_flush(self, sim):
+        # repro: allow[DET020] single-process mode only, gated upstream
+        sim.schedule_in(0.0, self.replica.flush)

@@ -1,0 +1,12 @@
+"""DETW01 negative: an emitter linted without the registry in view.
+
+Dead topics are only reported when ``repro.obs.schema`` itself is part
+of the linted program — a partial tree just means "emitter not in
+view", which is not a finding.
+"""
+
+from repro.obs.events import IO_SUBMIT
+
+
+def trace_submit(bus, fields):
+    bus.record(IO_SUBMIT, fields)

@@ -1,0 +1,11 @@
+"""DET018 positive: node IO path reads live cluster-shared state."""
+
+
+class Dispatcher:
+    def __init__(self, membership):
+        # repro: owner[cluster] live cluster membership map
+        self.membership = membership
+
+    def dispatch(self, req):
+        leader = self.membership.leader      # DET018: unsanctioned read
+        return leader

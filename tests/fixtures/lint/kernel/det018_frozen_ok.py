@@ -1,0 +1,15 @@
+"""DET018 negative: frozen-declared shared state may be read anywhere
+(each shard holds an immutable copy), and sanctioned sends are exempt."""
+
+
+class Dispatcher:
+    def __init__(self, placement, net):
+        # repro: owner[cluster:frozen] placement table, fixed at wiring
+        self.placement = placement
+        # repro: owner[cluster] the network is the sanctioned boundary
+        self.net = net
+
+    def dispatch(self, req):
+        shard = self.placement.shard_of(req)     # frozen: sanctioned read
+        self.net.send(shard, req)                # send(): sanctioned edge
+        return shard

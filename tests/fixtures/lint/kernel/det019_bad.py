@@ -1,0 +1,9 @@
+"""DET019 positive: node-domain code draws a cluster-owned RNG stream.
+
+``slo_control/`` belongs to the cluster shard's generator set; a node
+shard drawing it would split one draw sequence across two processes.
+"""
+
+
+def shed_jitter(sim, node_id):
+    return sim.rng(f"slo_control/shed/{node_id}").random()

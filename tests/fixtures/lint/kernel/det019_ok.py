@@ -1,0 +1,10 @@
+"""DET019 negative: each shard draws streams its own domain owns."""
+
+
+def ncq_jitter(sim, device):
+    return sim.rng(f"kernel/ncq/{device}").random()
+
+
+def unowned(sim):
+    # A slash-less stream has no owner prefix and is skipped.
+    return sim.rng("warmup").random()

@@ -1,0 +1,11 @@
+"""DET021 positive: an undeclared mutable module global in node code.
+
+Module globals are per-process: in a sharded run every shard forks its
+own silently-diverging copy of ``PENDING``.
+"""
+
+PENDING = {}                                 # DET021
+
+
+def track(req):
+    PENDING[req.req_id] = req

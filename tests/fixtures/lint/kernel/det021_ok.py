@@ -1,0 +1,11 @@
+"""DET021 negative: declared owners and immutable globals are fine."""
+
+# Per-shard by design: each node process tracks only its own inflight.
+# repro: owner[node] per-shard inflight table
+PENDING = {}
+
+MAX_INFLIGHT = 32                            # immutable: not state
+
+
+def track(req):
+    PENDING[req.req_id] = req

@@ -1,0 +1,10 @@
+"""DETW01 positive: the registry module is in view, topics are not
+emitted anywhere in the linted program — they are dead.
+
+This fixture resolves as module ``repro.obs.schema`` (the path mirrors
+the package layout), which is the registry module the dead-topic pass
+anchors its findings to.
+"""
+
+IO_SUBMIT = "io.submit"
+SLO_SHED = "slo.shed"

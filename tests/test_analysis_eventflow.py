@@ -1,4 +1,5 @@
-"""Whole-program contract analyzer: DET011-DET015, --jobs, baselines.
+"""Whole-program contract analyzer: DET011-DET015, DETW01, --jobs,
+baselines.
 
 The planted-drift tests mutate *real* repo sources (a topic typo, a
 payload-key rename, a consumer-key rename) and assert the right rule
@@ -207,33 +208,53 @@ def test_det015_sorted_iteration_is_clean():
     assert lint_source(src, "tools/gc.py") == []
 
 
-# -- dead-topic warnings -----------------------------------------------------
+# -- dead topics (DETW01) ----------------------------------------------------
 
-def test_dead_topic_warning_on_partial_program():
-    findings, warnings = lint_paths_program(
-        [FIXTURES / "det012_bad.py"])
-    # io.complete IS emitted by this file, so it must not be "dead"...
-    assert not any("'io.complete'" in w for w in warnings)
-    # ...but topics only other files emit are.
-    assert any("'span.op'" in w for w in warnings)
+def test_dead_topics_silent_without_registry_in_view():
+    # A partial program without repro.obs.schema in the linted set just
+    # means "emitter not in view" — never a finding.
+    findings = lint_paths_program([FIXTURES / "det012_bad.py"])
+    assert not any(f.rule == "DETW01" for f in findings)
+
+
+def test_dead_topic_findings_anchor_at_the_registry():
+    registry = FIXTURES / "repro" / "obs" / "schema.py"
+    findings = lint_paths_program([registry, FIXTURES / "detw01_ok.py"])
+    dead = [f for f in findings if f.rule == "DETW01"]
+    assert dead and all(f.path == str(registry) for f in dead)
+    messages = " | ".join(f.message for f in dead)
+    # detw01_ok.py emits io.submit, so it is alive ...
+    assert "'io.submit'" not in messages
+    # ... while slo.shed has no emitter in view and anchors at its
+    # declaration line in the (fixture) registry.
+    slo_shed = next(f for f in dead if "'slo.shed'" in f.message)
+    registry_lines = registry.read_text().splitlines()
+    assert registry_lines[slo_shed.line - 1].startswith("SLO_SHED")
+
+
+def test_dead_topic_suppressible_at_the_declaration_line(tmp_path):
+    registry = tmp_path / "repro" / "obs" / "schema.py"
+    registry.parent.mkdir(parents=True)
+    registry.write_text(
+        "SLO_SHED = 'slo.shed'  # repro: allow[DETW01] emitter pending\n")
+    findings = lint_paths_program([registry])
+    assert not any("'slo.shed'" in f.message for f in findings
+                   if f.rule == "DETW01")
 
 
 def test_no_dead_topics_over_the_whole_repo():
     paths = [ROOT / "src" / "repro", ROOT / "benchmarks",
              ROOT / "examples"]
-    findings, warnings = lint_paths_program(
-        [p for p in paths if p.exists()])
+    findings = lint_paths_program([p for p in paths if p.exists()])
     assert findings == [], "\n".join(f.render() for f in findings)
-    assert warnings == []
 
 
 # -- --jobs parallel fan-out -------------------------------------------------
 
 def test_parallel_lint_matches_serial():
-    serial, sw = lint_paths_program([FIXTURES], jobs=1)
-    parallel, pw = lint_paths_program([FIXTURES], jobs=2)
+    serial = lint_paths_program([FIXTURES], jobs=1)
+    parallel = lint_paths_program([FIXTURES], jobs=2)
     assert serial == parallel
-    assert sw == pw
     assert serial, "fixture tree should produce findings"
 
 
@@ -250,20 +271,20 @@ def test_cli_jobs_flag(capsys):
 # -- baselines ---------------------------------------------------------------
 
 def test_baseline_roundtrip(tmp_path):
-    findings, _ = lint_paths_program([FIXTURES / "det001_bad.py"])
+    findings = lint_paths_program([FIXTURES / "det001_bad.py"])
     assert findings
     baseline_path = tmp_path / "baseline.json"
     write_baseline(findings, baseline_path)
     assert filter_baseline(findings, load_baseline(baseline_path)) == []
     # A fresh finding (not in the baseline) survives the filter.
-    more, _ = lint_paths_program([FIXTURES / "det004_bad.py"])
+    more = lint_paths_program([FIXTURES / "det004_bad.py"])
     fresh = filter_baseline(findings + more,
                             load_baseline(baseline_path))
     assert fresh == more
 
 
 def test_baseline_budget_is_per_occurrence(tmp_path):
-    findings, _ = lint_paths_program([FIXTURES / "det001_bad.py"])
+    findings = lint_paths_program([FIXTURES / "det001_bad.py"])
     baseline_path = tmp_path / "baseline.json"
     write_baseline(findings[:1], baseline_path)
     fresh = filter_baseline(findings, load_baseline(baseline_path))

@@ -1,4 +1,4 @@
-"""Fixture-driven tests for the determinism linter (DET001-DET010)."""
+"""Fixture-driven tests for the determinism linter (DET001-DET021)."""
 
 import json
 from pathlib import Path
@@ -29,6 +29,12 @@ POSITIVE = {
     "cluster/det014_bad.py": "DET014",
     "det015_bad.py": "DET015",
     "sim/det016_bad.py": "DET016",
+    "cluster/det017_bad.py": "DET017",
+    "kernel/det018_bad.py": "DET018",
+    "kernel/det019_bad.py": "DET019",
+    "cluster/det020_bad.py": "DET020",
+    "kernel/det021_bad.py": "DET021",
+    "repro/obs/schema.py": "DETW01",
 }
 
 #: fixture file -> rule ID that must NOT fire there.
@@ -50,6 +56,12 @@ NEGATIVE = {
     "cluster/det014_suppressed_ok.py": "DET014",
     "det015_sorted_ok.py": "DET015",
     "sim/det016_suppressed_ok.py": "DET016",
+    "cluster/det017_suppressed_ok.py": "DET017",
+    "kernel/det018_frozen_ok.py": "DET018",
+    "kernel/det019_ok.py": "DET019",
+    "cluster/det020_suppressed_ok.py": "DET020",
+    "kernel/det021_ok.py": "DET021",
+    "detw01_ok.py": "DETW01",
 }
 
 
