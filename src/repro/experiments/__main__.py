@@ -30,6 +30,10 @@ def main(argv=None):
                              "snapshot (counters, gauges, histograms) "
                              "written as canonical JSON to PATH (default "
                              "<id>-metrics.json)")
+    parser.add_argument("--tails", action="store_true",
+                        help="post-hoc tail forensics over the recorded "
+                             "trace: per-request blame attribution of "
+                             "every span above the run's own p99")
     parser.add_argument("--paranoid", action="store_true",
                         help="run simulators with the replay sanitizer "
                              "armed (trace events feed its hash)")
@@ -63,7 +67,7 @@ def main(argv=None):
         start = time.time()
         trace_report = None
         if args.trace is not None or args.metrics is not None \
-                or args.paranoid:
+                or args.tails or args.paranoid:
             result, trace_report = _run_traced(runner, exp_id, args)
         else:
             result = runner(quick=not args.full, seed=args.seed)
@@ -100,7 +104,8 @@ def _run_traced(runner, exp_id, args):
     """
     from repro.obs.bus import TraceRecorder, install_tracing, reset_tracing
 
-    want_events = args.trace is not None or args.metrics is not None
+    want_events = args.trace is not None or args.metrics is not None \
+        or args.tails
     recorder = TraceRecorder() if want_events else None
     install_tracing(recorder, paranoid=args.paranoid)
     try:
@@ -128,6 +133,13 @@ def _run_traced(runner, exp_id, args):
             fh.write(registry.to_json())
             fh.write("\n")
         parts.append(f"[metrics: {registry.summary_line()} -> {path}]")
+    if args.tails:
+        # Post-hoc too: the forensics engine only reads the recorded
+        # events, so --tails adds zero work inside the simulation.
+        from repro.obs.forensics import TailForensics
+        report = TailForensics.from_events(recorder.events).report(
+            label=f"{exp_id} seed={args.seed}")
+        parts.append(report.render())
     return result, "\n".join(parts)
 
 

@@ -194,3 +194,68 @@ def chaos_smoke(seed=7):
     report = verify_replay(replay_scenario, seed=seed)
     print(report.render())
     return 0 if report.ok else 1
+
+
+# -- tail-forensics scenario + CI smoke --------------------------------------
+
+def tails_scenario(sim):
+    """The registered faulted *tail* scenario for ``python -m repro.obs
+    tails --scenario tails`` and the ``tails-smoke`` CI gate.
+
+    Unlike the chaos scenarios (everything at once), the planted causes
+    here occupy *disjoint* windows so each blame class has a clean
+    signature for the forensics engine to attribute: a total-loss window
+    (every RPC dropped -> timeout/backoff waits), then a hard device
+    storm (6x service, frequent spikes -> inflated server time), then a
+    crash window (failover chains).  Client starts are staggered like
+    ``race_scenario`` so the slice is tie-order insensitive.
+    """
+    horizon = 800 * MS
+    spec = FaultSpec(
+        message_loss=(MessageLoss(rate=1.0, start_us=60 * MS,
+                                  duration_us=60 * MS),),
+        device_storms=(DeviceStorm(node=0, start_us=200 * MS,
+                                   duration_us=120 * MS, factor=6.0,
+                                   spike_prob=0.2),),
+        crashes=(CrashWindow(node=1, start_us=400 * MS,
+                             duration_us=60 * MS),),
+        rpc_timeout_us=20 * MS,
+        op_budget_us=400 * MS,
+        max_attempts=6,
+    )
+    plane = FaultPlane(sim, spec)
+    env = build_disk_cluster(sim, 6,
+                             fault_injector=plane.decision_injector)
+    plane.arm(env.cluster)
+    strategy = make_strategy("mittos", env.cluster, deadline_us=25 * MS)
+    run_clients(env, strategy, n_clients=4, n_ops=45,
+                think_time_us=2 * MS, name="mittos", limit_us=horizon,
+                stagger_us=17.0)
+
+
+def tails_smoke(seed=7):
+    """CI gate: same-seed tail-forensics blame reports must be
+    byte-identical (the report is a pure function of the trace, and the
+    trace is a pure function of the seed).  Returns an exit code."""
+    from repro.obs.bus import TraceRecorder
+    from repro.obs.forensics import TailForensics
+
+    def one_report():
+        recorder = TraceRecorder()
+        sim = Simulator(seed=seed, paranoid=True, recorder=recorder)
+        tails_scenario(sim)
+        return TailForensics.from_events(recorder.events).report(
+            label=f"scenario=tails seed={seed}")
+
+    report_a, report_b = one_report(), one_report()
+    json_a, json_b = report_a.to_json(), report_b.to_json()
+    for tag, report in (("A", report_a), ("B", report_b)):
+        print(f"run {tag}: {report.spans} spans, "
+              f"{len(report.flagged)} flagged, "
+              f"tail mass {report.tail_mass_us:.1f}us")
+    ok = json_a == json_b
+    print("tails determinism: " + ("OK" if ok else "MISMATCH"))
+    if ok:
+        print()
+        print(report_a.render())
+    return 0 if ok else 1

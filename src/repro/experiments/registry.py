@@ -45,6 +45,9 @@ SCENARIOS = {
     "slosweep": ("repro.experiments.slosweep", "race_scenario",
                  "adaptive SLO-control slice: controller armed, guards on, "
                  "scavenger pool (staggered client starts)"),
+    "tails": ("repro.experiments.faultsweep", "tails_scenario",
+              "planted-cause tail slice: total-loss window, device storm, "
+              "crash window in disjoint quarters (staggered client starts)"),
 }
 
 

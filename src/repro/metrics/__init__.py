@@ -1,10 +1,12 @@
 """Latency recording, percentile math, and result formatting."""
 
 from repro.metrics.availability import AvailabilityStats
+from repro.metrics.blame import BLAME_ORDER, BlameShare
 from repro.metrics.breakdown import LatencyBreakdown
 from repro.metrics.latency import LatencyRecorder, percentile
 from repro.metrics.reduction import latency_reduction
 from repro.metrics.tables import format_table
 
-__all__ = ["AvailabilityStats", "LatencyBreakdown", "LatencyRecorder",
-           "percentile", "latency_reduction", "format_table"]
+__all__ = ["AvailabilityStats", "BlameShare", "BLAME_ORDER",
+           "LatencyBreakdown", "LatencyRecorder", "percentile",
+           "latency_reduction", "format_table"]

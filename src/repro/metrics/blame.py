@@ -1,0 +1,99 @@
+"""Blame-share reducer: aggregate per-request tail blame into class shares.
+
+The tail-forensics engine (:mod:`repro.obs.forensics`) charges every
+stage of a flagged tail request to one of seven blame classes; this
+module holds the class vocabulary and the reducer that folds those
+per-request verdicts into the aggregate table ("which class owns how
+much of the tail mass").  It lives in ``metrics`` beside the other
+reducers (latency, breakdown, availability) and deliberately imports
+nothing from ``repro.obs``, so the forensics module can depend on it
+without a package cycle.
+"""
+
+from repro._units import MS
+from repro.metrics.tables import format_table
+
+# -- blame classes -----------------------------------------------------------
+#: Wait in scheduler/device queues (plain load, no fault in view).
+BLAME_DEVICE_QUEUEING = "device-queueing"
+#: Service inflated by a device storm or gray (fail-slow) replica window.
+BLAME_DEVICE_STORM = "device-storm"
+#: Client-side waits on lost messages: RPC timeouts and retry backoff.
+BLAME_NETWORK_LOSS = "network-loss-retry"
+#: Extra replica hops after timeouts / EIO / crash windows.
+BLAME_FAILOVER_CHAIN = "failover-chain"
+#: Hops forced by admission-guard shedding (tiered backpressure).
+BLAME_SHED_WAIT = "shed-wait"
+#: Server time admitted by a false-accept verdict (predictor optimism).
+BLAME_PREDICTOR_MISS = "predictor-miss"
+#: Everything structural: syscall, cache service, first-attempt hops.
+BLAME_CLIENT_OTHER = "client-other"
+
+#: Canonical order: display order and the deterministic tie-break when
+#: two classes are charged exactly the same µs (earlier wins).
+BLAME_ORDER = (BLAME_DEVICE_QUEUEING, BLAME_DEVICE_STORM,
+               BLAME_NETWORK_LOSS, BLAME_FAILOVER_CHAIN, BLAME_SHED_WAIT,
+               BLAME_PREDICTOR_MISS, BLAME_CLIENT_OTHER)
+
+
+def blame_key(blame):
+    """Sort key: canonical classes in order, unknown ones after by name."""
+    try:
+        return (0, BLAME_ORDER.index(blame))
+    except ValueError:
+        return (1, blame)
+
+
+class BlameShare:
+    """Folds flagged-request verdicts into per-class counts and µs shares.
+
+    ``add`` one flagged request at a time: its *dominant* class gains a
+    request count, and every class it charged gains the charged µs.  By
+    the blame accounting identity (each request's charged µs sum to its
+    end-to-end latency), ``sum(charged_us.values())`` equals
+    ``total_us`` — the total tail mass — within span tolerance.
+    """
+
+    def __init__(self):
+        #: dominant blame class -> flagged-request count.
+        self.counts = {}
+        #: blame class -> total charged µs across all flagged requests.
+        self.charged_us = {}
+        #: total tail mass (sum of flagged end-to-end latencies, µs).
+        self.total_us = 0.0
+
+    def add(self, dominant, total_us, charged):
+        """Fold one flagged request (``charged``: blame class -> µs)."""
+        self.counts[dominant] = self.counts.get(dominant, 0) + 1
+        self.total_us += total_us
+        for blame, us in charged.items():
+            self.charged_us[blame] = self.charged_us.get(blame, 0.0) + us
+
+    @property
+    def flagged(self):
+        return sum(self.counts.values())
+
+    def rows(self):
+        """(blame, dominant-count, charged µs, share of tail mass) rows
+        in canonical class order; only classes that appear."""
+        out = []
+        for blame in sorted(set(self.counts) | set(self.charged_us),
+                            key=blame_key):
+            us = self.charged_us.get(blame, 0.0)
+            share = us / self.total_us if self.total_us else 0.0
+            out.append((blame, self.counts.get(blame, 0), us, share))
+        return out
+
+    def to_dict(self):
+        return {blame: {"count": n, "charged_us": round(us, 3),
+                        "share": round(share, 6)}
+                for blame, n, us, share in self.rows()}
+
+    def render(self, title=None):
+        """The per-class ascii table (charged time in milliseconds)."""
+        rows = [[blame, n, round(us / MS, 2), f"{100.0 * share:.1f}%"]
+                for blame, n, us, share in self.rows()]
+        if not rows:
+            return "(no flagged tail requests)"
+        return format_table(["blame", "n", "charged_ms", "share"], rows,
+                            title=title)

@@ -27,7 +27,10 @@ Second-story consumers of the stream (this package too):
   snapshots (``--metrics`` on the experiments CLI);
 * :mod:`repro.obs.profile` — host wall-clock profiler
   (``python -m repro.obs profile``);
-* :mod:`repro.obs.diff` — trace diff (``python -m repro.obs diff``).
+* :mod:`repro.obs.diff` — trace diff (``python -m repro.obs diff``);
+* :mod:`repro.obs.forensics` — tail forensics: per-request blame
+  attribution with event-ref evidence, plus the cross-run blame diff
+  (``python -m repro.obs tails [--against]``).
 
 ``python -m repro.obs summarize trace.jsonl`` renders an exported trace;
 ``python -m repro.obs smoke`` / ``perfguard`` are the CI gates.
@@ -37,10 +40,12 @@ from repro.obs import events
 from repro.obs.accuracy import AccuracyJoiner, PredictionRecord
 from repro.obs.bus import (NullRecorder, TraceBus, TraceFormatError,
                            TraceRecorder, default_paranoid,
-                           default_recorder, install_tracing, read_jsonl,
-                           reset_tracing, tracing)
+                           default_recorder, install_tracing, iter_jsonl,
+                           open_trace, read_jsonl, reset_tracing, tracing)
 from repro.obs.diff import TraceDiff, diff_traces
 from repro.obs.events import TraceEvent
+from repro.obs.forensics import (BlameDiff, BlameReport, RequestBlame,
+                                 TailForensics, diff_reports)
 from repro.obs.registry import MeteredRecorder, MetricsRegistry
 from repro.obs.spans import (SPAN_SUM_TOLERANCE_US, check_span_invariant,
                              request_spans, spans_sum)
@@ -48,8 +53,10 @@ from repro.obs.spans import (SPAN_SUM_TOLERANCE_US, check_span_invariant,
 __all__ = [
     "events", "TraceBus", "TraceEvent", "TraceRecorder", "NullRecorder",
     "TraceFormatError", "tracing", "install_tracing", "reset_tracing",
-    "default_recorder", "default_paranoid", "read_jsonl",
-    "AccuracyJoiner", "PredictionRecord", "MetricsRegistry",
-    "MeteredRecorder", "TraceDiff", "diff_traces", "request_spans",
-    "spans_sum", "check_span_invariant", "SPAN_SUM_TOLERANCE_US",
+    "default_recorder", "default_paranoid", "read_jsonl", "iter_jsonl",
+    "open_trace", "AccuracyJoiner", "PredictionRecord", "MetricsRegistry",
+    "MeteredRecorder", "TraceDiff", "diff_traces", "TailForensics",
+    "BlameReport", "BlameDiff", "RequestBlame", "diff_reports",
+    "request_spans", "spans_sum", "check_span_invariant",
+    "SPAN_SUM_TOLERANCE_US",
 ]

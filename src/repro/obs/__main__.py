@@ -20,6 +20,22 @@
     stages.  ``--baseline`` compares against a committed profile and
     fails on unexplained event-count growth.
 
+``python -m repro.obs tails [TRACE | --scenario ID] [--threshold-us N |
+--percentile P] [--against OTHER] [--json | --top K]``
+    Tail forensics: for every span above the threshold (default: the
+    trace's own p99), attribute its latency to blame classes
+    (device-queueing, device-storm, network-loss-retry, failover-chain,
+    shed-wait, predictor-miss, client-other) by joining fault windows,
+    drops, sheds, failover decisions, and false-accept verdicts — with
+    event-ref evidence per class.  ``--against`` diffs two runs' blame
+    reports ("why did p99 regress"); traces are streamed, ``.gz`` works.
+
+``python -m repro.obs schema [--markdown] [--check PATH]``
+    The topic/payload reference, straight from ``repro.obs.schema``.
+    ``--markdown`` renders the table checked into DESIGN.md §8;
+    ``--check DESIGN.md`` exits 1 unless that file contains the current
+    table verbatim (CI's docs drift gate).
+
 ``python -m repro.obs diff <a.jsonl> <b.jsonl> [--canonical]``
     Trace diff: first divergent timestamp group + per-topic count deltas
     between two traces of the same (seed, workload).  Exits 0 when the
@@ -53,7 +69,8 @@ import argparse
 import sys
 
 from repro.metrics.breakdown import LatencyBreakdown
-from repro.obs.bus import TraceFormatError, TraceRecorder, read_jsonl
+from repro.obs.bus import (TraceFormatError, TraceRecorder, iter_jsonl,
+                           read_jsonl)
 
 
 def _load_trace(path):
@@ -74,34 +91,85 @@ def _load_trace(path):
     return events
 
 
+def _stream_into(path, reducers):
+    """Stream a JSONL trace into ``observe``-style reducers.
+
+    Returns the event count, or ``None`` after a one-line error — the
+    streaming twin of :func:`_load_trace` for megasweep-scale traces
+    (nothing is held beyond the current line).
+    """
+    count = 0
+    try:
+        for event in iter_jsonl(path):
+            count += 1
+            for reducer in reducers:
+                reducer(event)
+    except OSError as exc:
+        reason = exc.strerror or str(exc)
+        print(f"error: cannot read trace '{path}': {reason}",
+              file=sys.stderr)
+        return None
+    except TraceFormatError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
+    if not count:
+        print(f"error: trace '{path}' contains no events", file=sys.stderr)
+        return None
+    return count
+
+
 def summarize(path, top=None):
-    events = _load_trace(path)
-    if events is None:
-        return 1
-    print(LatencyBreakdown.from_events(events).render())
+    breakdown = LatencyBreakdown()
     counts = {}
-    for ev in events:
+
+    def count_topics(ev):
         counts[ev.topic] = counts.get(ev.topic, 0) + 1
+
+    def fold_spans(ev):
+        from repro.obs.events import SPAN_OP, SPAN_REQUEST
+        if ev.topic == SPAN_REQUEST:
+            breakdown.add("request", ev.fields["total"], ev.fields["stages"])
+        elif ev.topic == SPAN_OP:
+            breakdown.add("op", ev.fields["total"], ev.fields["stages"])
+
+    total = _stream_into(path, (count_topics, fold_spans))
+    if total is None:
+        return 1
+    print(breakdown.render())
     shown = sorted(counts)
     suffix = ""
     if top is not None and top < len(shown):
         shown = sorted(counts, key=lambda t: (-counts[t], t))[:top]
         suffix = f" (top {top} by count)"
     print()
-    print(f"{len(events)} events across {len(counts)} topics{suffix}:")
+    print(f"{total} events across {len(counts)} topics{suffix}:")
     for topic in shown:
         print(f"  {topic:22s} {counts[topic]}")
     return 0
 
 
 def accuracy(scenario_id="fig3", seed=7, snapshot=None,
-             interval_us=100_000.0, horizon_us=10_000_000.0):
-    """Run a scenario under a metered recorder; grade its predictions."""
+             interval_us=100_000.0, horizon_us=10_000_000.0, trace=None):
+    """Run a scenario under a metered recorder; grade its predictions.
+
+    With ``trace`` set, grade an exported JSONL trace instead — streamed
+    through :func:`iter_jsonl`, so megasweep-scale exports never need a
+    full in-memory load.
+    """
     from repro.experiments.registry import get_accuracy_scenario
     from repro.obs.accuracy import AccuracyJoiner
     from repro.obs.registry import MeteredRecorder, MetricsRegistry
     from repro.sim.core import Simulator
 
+    if trace is not None:
+        joiner = AccuracyJoiner()
+        if _stream_into(trace, (joiner.observe,)) is None:
+            return 1
+        joiner.finalize()
+        print(f"prediction accuracy: trace={trace} (streamed)")
+        print()
+        print(joiner.render())
+        return 0
     try:
         scenario = get_accuracy_scenario(scenario_id)
     except KeyError as exc:
@@ -184,6 +252,101 @@ def _profile_against_baseline(payload, baseline, scenario_id, seed):
               " over the committed profile — refresh BENCH_profile.json "
               "if intentional — FAIL", file=sys.stderr)
         return 1
+    return 0
+
+
+def _forensics_of(path):
+    """A finalized :class:`TailForensics` streamed off a JSONL trace, or
+    ``None`` after a one-line error."""
+    from repro.obs.forensics import TailForensics
+
+    forensics = TailForensics()
+    if _stream_into(path, (forensics.observe,)) is None:
+        return None
+    return forensics.finalize()
+
+
+def tails(trace=None, scenario_id=None, seed=7, threshold_us=None,
+          pct=None, against=None, as_json=False, top=3):
+    """Tail forensics: per-request blame attribution of one trace (or a
+    live scenario run), optionally diffed ``--against`` a second trace."""
+    from repro.obs.forensics import TailForensics, diff_reports
+
+    if (trace is None) == (scenario_id is None):
+        print("error: give exactly one of TRACE or --scenario",
+              file=sys.stderr)
+        return 2
+    if scenario_id is not None:
+        from repro.experiments.registry import get_scenario
+        from repro.sim.core import Simulator
+        try:
+            scenario = get_scenario(scenario_id)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        recorder = TraceRecorder()
+        sim = Simulator(seed=seed, recorder=recorder)
+        scenario(sim)
+        forensics = TailForensics.from_events(recorder.events)
+        label = f"scenario={scenario_id} seed={seed}"
+    else:
+        forensics = _forensics_of(trace)
+        if forensics is None:
+            return 1
+        label = trace
+    report = forensics.report(threshold_us=threshold_us, pct=pct,
+                              label=label)
+    if against is None:
+        if as_json:
+            sys.stdout.write(report.to_json())
+        else:
+            print(report.render(top=top))
+        return 0
+    other = _forensics_of(against)
+    if other is None:
+        return 1
+    # Each run is thresholded against its *own* distribution (same
+    # percentile, or the same absolute cut), so the diff explains how
+    # the tail's composition moved, not just how the cut moved.
+    report_b = other.report(threshold_us=threshold_us, pct=pct,
+                            label=against)
+    blame_diff = diff_reports(report, report_b, label_a=label,
+                              label_b=against)
+    if as_json:
+        import json
+        print(json.dumps(blame_diff.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(blame_diff.render())
+    return 0
+
+
+def schema_reference(markdown=False, check=None):
+    """Render (or drift-check) the auto-generated topic schema table."""
+    from repro.obs.schema import SCHEMAS, render_markdown
+
+    table = render_markdown()
+    if check is not None:
+        try:
+            with open(check) as fh:
+                text = fh.read()
+        except OSError as exc:
+            print(f"error: cannot read '{check}': "
+                  f"{exc.strerror or exc}", file=sys.stderr)
+            return 1
+        if table not in text:
+            print(f"schema drift: {check} does not contain the current "
+                  "topic table verbatim — regenerate it with "
+                  "'python -m repro.obs schema --markdown' and paste it "
+                  "over the stale copy", file=sys.stderr)
+            return 1
+        print(f"schema reference in {check}: up to date "
+              f"({len(SCHEMAS)} topics)")
+        return 0
+    if markdown:
+        print(table)
+        return 0
+    for topic, declared in SCHEMAS.items():
+        print(f"{topic:22s} {declared.doc}")
     return 0
 
 
@@ -391,6 +554,46 @@ def main(argv=None):
     p_acc.add_argument("--interval-us", type=float, default=100_000.0,
                        help="utilization/queue-depth sampling interval "
                             "(sim µs, default 100000)")
+    p_acc.add_argument("--trace", metavar="PATH", default=None,
+                       help="grade an exported JSONL trace (streamed) "
+                            "instead of running a scenario")
+    p_tails = sub.add_parser("tails",
+                             help="tail forensics: per-request blame "
+                                  "attribution + cross-run regression "
+                                  "diff")
+    p_tails.add_argument("trace", nargs="?", default=None,
+                         help="JSONL trace export (.gz ok); or use "
+                              "--scenario to run one live")
+    p_tails.add_argument("--scenario", default=None,
+                         help="run a registered scenario under a "
+                              "recorder instead of reading a trace")
+    p_tails.add_argument("--seed", type=int, default=7)
+    group = p_tails.add_mutually_exclusive_group()
+    group.add_argument("--threshold-us", type=float, default=None,
+                       metavar="N",
+                       help="flag spans slower than N µs (absolute)")
+    group.add_argument("--percentile", type=float, default=None,
+                       metavar="P",
+                       help="flag spans above the trace's own P-th "
+                            "percentile (default 99)")
+    p_tails.add_argument("--against", metavar="TRACE", default=None,
+                         help="second trace: report blame-class deltas "
+                              "explaining the tail gap A -> B")
+    p_tails.add_argument("--json", action="store_true",
+                         help="emit the canonical JSON report instead "
+                              "of the ascii tables")
+    p_tails.add_argument("--top", type=int, default=3, metavar="K",
+                         help="exemplar request timelines to print "
+                              "(default 3)")
+    p_schema = sub.add_parser("schema",
+                              help="topic/payload reference from the "
+                                   "schema registry")
+    p_schema.add_argument("--markdown", action="store_true",
+                          help="render the markdown table checked into "
+                               "DESIGN.md §8")
+    p_schema.add_argument("--check", metavar="PATH", default=None,
+                          help="exit 1 unless PATH contains the current "
+                               "table verbatim (CI drift gate)")
     p_prof = sub.add_parser("profile",
                             help="host wall-clock profile of a scenario")
     p_prof.add_argument("--scenario", default="chaos",
@@ -445,7 +648,14 @@ def main(argv=None):
     if args.cmd == "accuracy":
         return accuracy(scenario_id=args.scenario, seed=args.seed,
                         snapshot=args.snapshot,
-                        interval_us=args.interval_us)
+                        interval_us=args.interval_us, trace=args.trace)
+    if args.cmd == "tails":
+        return tails(trace=args.trace, scenario_id=args.scenario,
+                     seed=args.seed, threshold_us=args.threshold_us,
+                     pct=args.percentile, against=args.against,
+                     as_json=args.json, top=args.top)
+    if args.cmd == "schema":
+        return schema_reference(markdown=args.markdown, check=args.check)
     if args.cmd == "profile":
         return profile(scenario_id=args.scenario, seed=args.seed,
                        top=args.top, out=args.out,

@@ -21,6 +21,7 @@ their canonical JSON lines feed the paranoid sanitizer's hash (when
 byte-identical traces — ``python -m repro.obs smoke`` is the CI gate.
 """
 
+import gzip
 import hashlib
 import json
 
@@ -186,10 +187,16 @@ class TraceRecorder:
         return counts
 
     def write_jsonl(self, path):
-        """Export the trace as one canonical JSON object per line."""
+        """Export the trace as one canonical JSON object per line.
+
+        A ``.gz`` path writes gzip-compressed JSONL (chaos/slosweep
+        traces compress ~20x); ``read_jsonl``/``iter_jsonl`` reopen it
+        transparently.  The archive embeds no wall-clock (``mtime=0``),
+        so two same-seed exports stay byte-identical.
+        """
         if self.events is None:
             raise RuntimeError("recorder was built with keep_events=False")
-        with open(path, "w") as fh:
+        with open_trace(path, "w") as fh:
             for ev in self.events:
                 fh.write(ev.to_json())
                 fh.write("\n")
@@ -201,26 +208,53 @@ class TraceFormatError(Exception):
     (truncated export, wrong file, hand-edited line)."""
 
 
-def read_jsonl(path):
-    """Load a JSONL trace back into :class:`TraceEvent` objects.
+def open_trace(path, mode="r"):
+    """Open a trace path for text IO, transparently gzipped for ``.gz``.
 
-    Raises :class:`TraceFormatError` naming the offending line on
-    malformed content; ``OSError`` propagates when the file cannot be
-    opened.  Blank lines are skipped (a trailing newline is fine).
+    Writes pin the gzip header's mtime to 0 and omit the embedded
+    filename, so the archive bytes are a pure function of the trace
+    content — the byte-identity determinism gates (``cmp`` on two
+    same-seed exports) hold for ``.gz`` too, whatever the path.
     """
-    out = []
-    with open(path) as fh:
+    if str(path).endswith(".gz"):
+        if "r" in mode:
+            return gzip.open(path, "rt")
+        import io
+        raw = open(path, mode + "b")
+        binary = gzip.GzipFile(filename="", mode=mode + "b", mtime=0,
+                               fileobj=raw)
+        # GzipFile only closes files it opened itself; hand it ours so
+        # close() flushes the buffered writer too.
+        binary.myfileobj = raw
+        return io.TextIOWrapper(binary, encoding="utf-8")
+    return open(path, mode)
+
+
+def iter_jsonl(path):
+    """Stream a JSONL trace as :class:`TraceEvent` objects, one per line.
+
+    The generator twin of :func:`read_jsonl` for megasweep-scale traces:
+    nothing is held beyond the current line.  Same error contract —
+    :class:`TraceFormatError` names ``path:lineno`` on malformed content,
+    ``OSError`` propagates when the file cannot be opened, and blank
+    lines are skipped.  ``.gz`` paths are decompressed transparently.
+    """
+    with open_trace(path) as fh:
         for lineno, line in enumerate(fh, start=1):
             line = line.strip()
             if not line:
                 continue
             try:
-                out.append(TraceEvent.from_dict(json.loads(line)))
+                yield TraceEvent.from_dict(json.loads(line))
             except (ValueError, KeyError, TypeError) as exc:
                 raise TraceFormatError(
                     f"{path}:{lineno}: not a trace event line "
                     f"({exc})") from exc
-    return out
+
+
+def read_jsonl(path):
+    """Load a whole JSONL trace into a list (see :func:`iter_jsonl`)."""
+    return list(iter_jsonl(path))
 
 
 class TraceBus:

@@ -74,6 +74,8 @@ SLO_KILLSWITCH = "slo.killswitch"
 SPAN_REQUEST = "span.request"
 SPAN_OP = "span.op"
 
+FORENSICS_BLAME = "forensics.blame"
+
 
 @dataclass(frozen=True)
 class TopicSchema:
@@ -210,6 +212,14 @@ SCHEMAS = {s.topic: s for s in (
             {"strategy": "str", "key": "any", "outcome": "str",
              "attempts": "int", "timeouts": "int", "total": "number",
              "stages": "mapping"}),
+    _schema(FORENSICS_BLAME,
+            "derived (post-hoc) tail-forensics verdict: one flagged tail "
+            "request with its per-blame-class charged µs and dominant blame",
+            {"kind": "str", "blame": "str", "outcome": "str",
+             "total": "number", "charged": "mapping"},
+            optional={"strategy": "str", "key": "any", "attempts": "int",
+                      "timeouts": "int", "req": "int", "pid": "int",
+                      "evidence": "mapping"}),
 )}
 
 
@@ -217,6 +227,29 @@ def declared_keys(topic):
     """Declared payload keys of ``topic``, or None for an unknown topic."""
     schema = SCHEMAS.get(topic)
     return schema.keys() if schema is not None else None
+
+
+def _field_cell(fields):
+    """``name:type`` list of one required/optional dict, declaration order."""
+    return ", ".join(f"`{name}:{type_name}`"
+                     for name, type_name in fields.items()) or "—"
+
+
+def render_markdown():
+    """The auto-generated topic/payload reference table (GitHub markdown).
+
+    Rendered by ``python -m repro.obs schema --markdown`` and checked
+    into DESIGN.md §8; CI regenerates and diffs so the docs cannot drift
+    from this registry (``--check DESIGN.md``).
+    """
+    lines = [
+        "| topic | required | optional | doc |",
+        "|---|---|---|---|",
+    ]
+    for schema in SCHEMAS.values():
+        lines.append(f"| `{schema.topic}` | {_field_cell(schema.required)} "
+                     f"| {_field_cell(schema.optional)} | {schema.doc} |")
+    return "\n".join(lines)
 
 
 # -- dynamic validation ------------------------------------------------------

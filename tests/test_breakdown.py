@@ -139,3 +139,23 @@ def test_experiments_paranoid_flag(capsys):
     out = capsys.readouterr().out
     # paranoid alone records nothing, so no breakdown table is printed.
     assert "Per-stage latency attribution" not in out
+
+
+def test_single_sample_percentiles_collapse():
+    bd = LatencyBreakdown()
+    bd.add("op", 7.5 * MS, {"server": 7.5 * MS})
+    ((stage, n, p50, p95, p99, total),) = bd.rows()
+    assert (stage, n) == ("server", 1)
+    assert p50 == p95 == p99 == total == 7.5
+
+
+def test_zero_length_stages_still_count_as_samples():
+    """A stage the request skipped (0 µs) is a real sample: it must pull
+    the stage's percentiles down, not vanish from the denominator."""
+    bd = LatencyBreakdown()
+    bd.add("request", 10.0, {"scheduler-queue": 0.0,
+                             "device-service": 10.0})
+    bd.add("request", 20.0, {"scheduler-queue": 20.0})
+    rows = {row[0]: row for row in bd.rows()}
+    assert rows["scheduler-queue"][1] == 2
+    assert rows["scheduler-queue"][2] == 10.0 / MS  # p50 of 0 and 20 µs

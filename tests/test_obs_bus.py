@@ -210,3 +210,78 @@ def test_untraced_paranoid_hash_ignores_recorder_absence():
         return sim.trace_hash()
 
     assert run() == run()
+
+
+# -- streaming + gzip traces -------------------------------------------------
+def _two_event_recorder():
+    rec = TraceRecorder()
+    sim = Simulator(seed=1, recorder=rec)
+    sim.bus.record(IO_SUBMIT, {"req": 1, "offset": 4096})
+    sim.schedule(3.5, lambda: sim.bus.record(IO_COMPLETE,
+                                             {"req": 1, "latency": 3.5}))
+    sim.run()
+    return rec
+
+
+def test_iter_jsonl_streams_lazily(tmp_path):
+    from repro.obs.bus import iter_jsonl
+    rec = _two_event_recorder()
+    path = tmp_path / "trace.jsonl"
+    rec.write_jsonl(path)
+    it = iter_jsonl(path)
+    first = next(it)
+    assert first.topic == IO_SUBMIT
+    assert [ev.topic for ev in it] == [IO_COMPLETE]
+
+
+def test_iter_jsonl_error_carries_line_number(tmp_path):
+    from repro.obs.bus import TraceFormatError, iter_jsonl
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"t":0.0,"topic":"io.submit","req":1}\nnot json\n')
+    it = iter_jsonl(path)
+    next(it)
+    with pytest.raises(TraceFormatError, match="bad.jsonl:2"):
+        next(it)
+
+
+def test_gzip_jsonl_round_trip(tmp_path):
+    rec = _two_event_recorder()
+    path = tmp_path / "trace.jsonl.gz"
+    assert rec.write_jsonl(path) == 2
+    import gzip
+    with gzip.open(path, "rt") as fh:  # genuinely gzip on disk
+        assert fh.readline().startswith('{"t":')
+    back = read_jsonl(path)
+    assert [ev.to_json() for ev in back] == \
+        [ev.to_json() for ev in rec.events]
+
+
+def test_gzip_export_is_byte_stable(tmp_path):
+    """mtime=0 in the gzip header: two exports of the same trace are
+    byte-identical (same-seed .gz artifacts can be cmp'd in CI)."""
+    rec = _two_event_recorder()
+    path_a = tmp_path / "a.jsonl.gz"
+    path_b = tmp_path / "b.jsonl.gz"
+    rec.write_jsonl(path_a)
+    rec.write_jsonl(path_b)
+    assert path_a.read_bytes() == path_b.read_bytes()
+
+
+def test_gzip_trace_error_contract_matches_plain(tmp_path):
+    import gzip
+    from repro.obs.bus import TraceFormatError
+    path = tmp_path / "bad.jsonl.gz"
+    with gzip.open(path, "wt") as fh:
+        fh.write('{"t":0.0,"topic":"io.submit","req":1}\n{"nope":1}\n')
+    with pytest.raises(TraceFormatError, match="bad.jsonl.gz:2"):
+        read_jsonl(path)
+
+
+def test_open_trace_plain_passthrough(tmp_path):
+    from repro.obs.bus import open_trace
+    path = tmp_path / "plain.txt"
+    with open_trace(path, "w") as fh:
+        fh.write("hello\n")
+    assert path.read_bytes() == b"hello\n"
+    with open_trace(path) as fh:
+        assert fh.read() == "hello\n"

@@ -137,3 +137,45 @@ def test_smoke_cli_validate_flag(capsys):
     out = capsys.readouterr().out
     assert "schema validation: OK" in out
     assert "trace determinism: OK" in out
+
+
+# -- auto-generated markdown reference ---------------------------------------
+def test_render_markdown_covers_every_topic():
+    from repro.obs.schema import render_markdown
+    table = render_markdown()
+    lines = table.splitlines()
+    assert lines[0].startswith("| topic |")
+    assert len(lines) == 2 + len(SCHEMAS)  # header + rule + one row/topic
+    for topic, schema in SCHEMAS.items():
+        assert f"| `{topic}` |" in table
+        for field, type_name in schema.required.items():
+            assert f"`{field}:{type_name}`" in table
+
+
+def test_design_md_schema_table_is_current():
+    """The table checked into DESIGN.md §8 must match the registry —
+    the in-repo twin of CI's `schema --check DESIGN.md` gate."""
+    import pathlib
+
+    from repro.obs.schema import render_markdown
+    design = pathlib.Path(__file__).resolve().parent.parent / "DESIGN.md"
+    assert render_markdown() in design.read_text()
+
+
+def test_schema_cli_markdown_and_check(tmp_path, capsys):
+    from repro.obs.__main__ import main
+    from repro.obs.schema import render_markdown
+    assert main(["schema", "--markdown"]) == 0
+    assert capsys.readouterr().out.strip() == render_markdown()
+    assert main(["schema"]) == 0
+    listing = capsys.readouterr().out
+    assert all(topic in listing for topic in SCHEMAS)
+    good = tmp_path / "good.md"
+    good.write_text("prose\n\n" + render_markdown() + "\n\nmore prose\n")
+    assert main(["schema", "--check", str(good)]) == 0
+    stale = tmp_path / "stale.md"
+    stale.write_text("prose without the table\n")
+    assert main(["schema", "--check", str(stale)]) == 1
+    assert "drift" in capsys.readouterr().err
+    assert main(["schema", "--check", str(tmp_path / "absent.md")]) == 1
+    capsys.readouterr()
